@@ -1,0 +1,39 @@
+"""Ablation: the cost of DEVIL_DEBUG run-time checks (§3.2).
+
+The checks are CPU-side only — the I/O trace is identical — so the
+measurable cost is per-call time.  The paper argues the checks are
+cheap enough to leave on during development because the compiler
+inserts and removes them systematically.
+"""
+
+from repro.bus import Bus
+from repro.devices.busmouse import BusmouseModel
+from repro.perf.micro import debug_mode_op_counts
+from repro.specs import compile_shipped
+
+
+def _mouse(debug):
+    bus = Bus()
+    mouse = BusmouseModel()
+    bus.map_device(0x23C, 4, mouse, "busmouse")
+    device = compile_shipped("busmouse").bind(bus, {"base": 0x23C},
+                                              debug=debug)
+    mouse.move(1, 1)
+    device.get_mouse_state()
+    return device
+
+
+def test_debug_checks_do_not_change_io(benchmark):
+    release, debug = benchmark.pedantic(debug_mode_op_counts, rounds=1,
+                                        iterations=1)
+    assert release == debug
+
+
+def test_getter_release_mode(benchmark):
+    device = _mouse(debug=False)
+    benchmark(device.get_dx)
+
+
+def test_getter_debug_mode(benchmark):
+    device = _mouse(debug=True)
+    benchmark(device.get_dx)

@@ -1,0 +1,24 @@
+"""Ablation: structure grouping of volatile variables (§2.1).
+
+Compares a full mouse-state read through the structure (each register
+read exactly once, snapshot-consistent) against member-by-member reads
+(shared registers read twice, pre-actions replayed, values possibly
+torn).  This is the design choice the paper motivates with the
+``mouse_state`` structure of Figure 1.
+"""
+
+from conftest import record
+
+from repro.perf.micro import structure_grouping_op_count
+
+
+def test_grouping_ablation(benchmark):
+    grouped, ungrouped = benchmark.pedantic(
+        structure_grouping_op_count, rounds=1, iterations=1)
+    record("ablation_grouping",
+           f"grouped structure read: {grouped} I/O ops\n"
+           f"member-by-member read:  {ungrouped} I/O ops\n"
+           f"saving: {ungrouped - grouped} ops per mouse event "
+           f"(and the grouped read is tear-free)")
+    assert grouped == 8
+    assert ungrouped == 10

@@ -1,0 +1,26 @@
+"""Compiler performance: front-end and backends over the spec library.
+
+Not a paper table, but the practical cost a driver build pays per
+specification: parse + check, then each backend.
+"""
+
+import pytest
+
+from repro.devil.compiler import compile_spec
+from repro.specs import SPEC_NAMES, load_source
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_compile_spec(benchmark, name):
+    source = load_source(name)
+    benchmark(compile_spec, source)
+
+
+def test_emit_c_busmouse(benchmark):
+    spec = compile_spec(load_source("busmouse"))
+    benchmark(spec.emit_c)
+
+
+def test_emit_python_ne2000(benchmark):
+    spec = compile_spec(load_source("ne2000"))
+    benchmark(spec.emit_python)

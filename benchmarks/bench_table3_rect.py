@@ -1,0 +1,22 @@
+"""Table 3: Permedia2 Xfree86 driver, fill-rectangle test.
+
+Regenerates the xbench-style sweep: depths {8,16,24,32} bpp x rectangle
+sizes {2,10,100,400}.  Expected shape (paper): the Devil driver costs
+two extra MMIO stores per primitive, worth up to ~5% on 2x2 rectangles
+and nothing from 100x100 up (99-100%).
+"""
+
+from conftest import record
+
+from repro.perf import format_permedia_table, run_permedia_table
+
+
+def test_table3_fill(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_permedia_table("fill", batch=64),
+        rounds=1, iterations=1)
+    record("table3_fill_rect", format_permedia_table(rows))
+    for row in rows:
+        assert 0.93 <= row.ratio <= 1.01
+        if row.size >= 100:
+            assert row.ratio >= 0.99

@@ -1,0 +1,21 @@
+"""Table 4: Permedia2 Xfree86 driver, screen-copy test.
+
+Same sweep as Table 3 for the screen-area-copy primitive.  Expected
+shape (paper): 94-100%, with the gap visible only on the smallest
+copies.
+"""
+
+from conftest import record
+
+from repro.perf import format_permedia_table, run_permedia_table
+
+
+def test_table4_copy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_permedia_table("copy", batch=64),
+        rounds=1, iterations=1)
+    record("table4_screen_copy", format_permedia_table(rows))
+    for row in rows:
+        assert 0.93 <= row.ratio <= 1.01
+        if row.size >= 100:
+            assert row.ratio >= 0.99

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_table*.py`` file regenerates one table or figure of the
+paper.  Heavy experiments run exactly once (``benchmark.pedantic`` with
+one round); the reproduced table is printed and also written to
+``results/<name>.txt`` so EXPERIMENTS.md can reference stable outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record(name: str, content: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
+    print(f"\n=== {name} ===")
+    print(content)

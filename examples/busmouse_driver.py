@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Figure 2 vs Figure 3: the same mouse driver, twice.
+
+Drives the simulated Logitech busmouse through the hand-written
+C-style driver (raw ports, hex masks — Figure 2 of the paper) and
+through the Devil-based driver (generated stubs — Figure 3), shows
+that they produce identical events from identical hardware, and prints
+the I/O traces side by side.
+
+Run:  python3 examples/busmouse_driver.py
+"""
+
+from repro.bus import Bus
+from repro.devices.busmouse import REGION_SIZE, BusmouseModel
+from repro.drivers import CStyleBusmouseDriver, DevilBusmouseDriver
+
+BASE = 0x23C
+
+EVENTS = [(5, -3, 0b100), (-7, 2, 0b000), (120, -120, 0b111),
+          (0, 1, 0b010)]
+
+
+def run(driver_cls, label):
+    bus = Bus(tracing=True)
+    mouse = BusmouseModel()
+    bus.map_device(BASE, REGION_SIZE, mouse, "busmouse")
+    driver = driver_cls(bus, BASE)
+
+    assert driver.probe(), "mouse not detected"
+    driver.enable_interrupts()
+
+    events = []
+    for dx, dy, buttons in EVENTS:
+        mouse.move(dx, dy)
+        mouse.set_buttons(buttons)
+        events.append(driver.read_event())
+
+    print(f"{label}:")
+    print(f"  events: {events}")
+    print(f"  I/O operations: {bus.accounting.total_ops}")
+    return events, bus.trace
+
+
+def main() -> None:
+    c_events, c_trace = run(CStyleBusmouseDriver,
+                            "hand-written driver (Figure 2)")
+    devil_events, devil_trace = run(DevilBusmouseDriver,
+                                    "Devil-based driver (Figure 3)")
+
+    assert c_events == devil_events == EVENTS
+    print("\nBoth drivers decoded the same events from the same "
+          "hardware.")
+
+    print("\nFirst event's I/O trace (op port value):")
+    print(f"  {'hand-written':<22} {'Devil stubs':<22}")
+    for c_entry, d_entry in zip(c_trace[4:13], devil_trace[4:13]):
+        c_text = f"{c_entry.op} {c_entry.port:#x} {c_entry.value:#04x}"
+        d_text = f"{d_entry.op} {d_entry.port:#x} {d_entry.value:#04x}"
+        print(f"  {c_text:<22} {d_text:<22}")
+
+    c_ops = sorted((c.op, c.port, c.value) for c in c_trace)
+    d_ops = sorted((d.op, d.port, d.value) for d in devil_trace)
+    print(f"\nsame operations, same counts: {c_ops == d_ops}")
+    print("(the Devil structure reads x_high before x_low — the order "
+          "Figure 3c generates —\n while the Linux driver reads x_low "
+          "first; the nibble protocol permits both)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Generate the C stub headers for the whole specification library.
+
+Writes one ``<device>.dil.h`` per shipped specification into
+``generated_c/`` — the artifact a kernel driver would include — and,
+when a C compiler is available, compile-checks every header with
+``-Wall -Wextra -Werror``.
+
+Run:  python3 examples/emit_c_stubs.py [output_dir]
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.specs import SPEC_NAMES, compile_shipped
+
+HARNESS = """\
+unsigned devil_in(unsigned port, int width);
+void devil_out(unsigned value, unsigned port, int width);
+void devil_in_rep(unsigned port, int width, unsigned long count,
+                  unsigned *buffer);
+void devil_out_rep(unsigned port, int width, unsigned long count,
+                   const unsigned *buffer);
+#define DEVIL_IO_DECLARED
+#define DEVIL_DEBUG
+#include "{name}.dil.h"
+int main(void) {{ {prefix}_state_t state; (void)state; return 0; }}
+"""
+
+
+def main() -> None:
+    output = Path(sys.argv[1] if len(sys.argv) > 1 else "generated_c")
+    output.mkdir(exist_ok=True)
+    gcc = shutil.which("gcc")
+
+    for name in SPEC_NAMES:
+        spec = compile_shipped(name)
+        prefix = name[:3]
+        header = spec.emit_c(prefix=prefix)
+        path = output / f"{name}.dil.h"
+        path.write_text(header)
+        line = f"{path}  ({len(header.splitlines())} lines"
+        if gcc:
+            test_c = output / f"__check_{name}.c"
+            test_c.write_text(HARNESS.format(name=name, prefix=prefix))
+            result = subprocess.run(
+                [gcc, "-Wall", "-Wextra", "-Werror", "-std=c99", "-c",
+                 str(test_c), "-o", str(output / f"__check_{name}.o")],
+                capture_output=True, text=True)
+            line += ", gcc: OK" if result.returncode == 0 else \
+                f", gcc: FAILED\n{result.stderr}"
+            test_c.unlink()
+            (output / f"__check_{name}.o").unlink(missing_ok=True)
+        print(line + ")")
+
+    if not gcc:
+        print("\n(gcc not found — headers written but not "
+              "compile-checked)")
+
+
+if __name__ == "__main__":
+    main()

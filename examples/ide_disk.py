@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""IDE disk session: PIO and busmaster DMA through Devil stubs.
+
+Builds the simulated PC disk subsystem (IDE disk + PIIX4 busmaster),
+writes and reads back a small filesystem-like pattern through the
+Devil-based driver, and prints the I/O-operation accounting that
+underlies Table 2 of the paper — including the block-stub vs C-loop
+difference.
+
+Run:  python3 examples/ide_disk.py
+"""
+
+from repro.bus import Bus
+from repro.devices.ide import REGION_SIZE, IdeControlPort, IdeDiskModel
+from repro.devices.piix4 import Piix4Model
+from repro.drivers import DevilIdeDriver
+
+CMD_BASE, CTRL_BASE, BM_BASE = 0x1F0, 0x3F6, 0xC000
+
+
+def main() -> None:
+    bus = Bus()
+    disk = IdeDiskModel(total_sectors=256)
+    bus.map_device(CMD_BASE, REGION_SIZE, disk, "ide")
+    bus.map_device(CTRL_BASE, 1, IdeControlPort(disk), "ide-ctrl")
+    memory = bytearray(1 << 18)
+    busmaster = Piix4Model(disk, memory)
+    bus.map_device(BM_BASE, 8, busmaster, "piix4")
+
+    driver = DevilIdeDriver(bus, CMD_BASE, CTRL_BASE, BM_BASE)
+
+    print("IDENTIFY DEVICE:")
+    identify = driver.identify()
+    model_name = bytes(
+        identify[54 + (i ^ 1)] for i in range(40)).decode().strip()
+    sectors = int.from_bytes(identify[120:124], "little")
+    print(f"  model: {model_name!r}, capacity: {sectors} sectors")
+
+    print("\nWriting a tagged pattern with multi-sector PIO...")
+    payload = b"".join(
+        f"sector-{index:04d}".encode().ljust(512, b".")
+        for index in range(32))
+    driver.set_multiple(8)
+    before = bus.accounting.snapshot()
+    driver.write_sectors(100, payload, sectors_per_irq=8)
+    delta = bus.accounting.delta(before)
+    print(f"  32 sectors written: {delta.total_ops} explicit I/O ops, "
+          f"{delta.block_words} words via rep, "
+          f"{disk.interrupts_raised} interrupts so far")
+
+    print("\nReading back via DMA...")
+    before = bus.accounting.snapshot()
+    data = driver.read_dma(memory, 100, 32, buffer_address=0x10000)
+    delta = bus.accounting.delta(before)
+    assert data == payload
+    print(f"  32 sectors read: {delta.total_ops} I/O ops "
+          f"(the busmaster moved {busmaster.bytes_transferred} bytes)")
+
+    print("\nSingle-word loop vs block stubs (one sector):")
+    for use_block in (False, True):
+        before = bus.accounting.snapshot()
+        driver.read_sectors(100, 1, use_block=use_block)
+        delta = bus.accounting.delta(before)
+        kind = "block stubs" if use_block else "C loop     "
+        print(f"  {kind}: {delta.total_ops:>4} explicit ops, "
+              f"{delta.bus_transactions:>4} bus transactions")
+
+    print("\nVerifying content round-trip...")
+    echoed = driver.read_sectors(100, 32, sectors_per_irq=8)
+    assert echoed == payload
+    print("  OK — every sector intact.")
+
+
+if __name__ == "__main__":
+    main()

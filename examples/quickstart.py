@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: specify a device in Devil, verify it, drive it.
+
+This walks the paper's whole pipeline in one file:
+
+1. write a Devil specification (a little status/control chip),
+2. compile it — the checker verifies the §3.1 consistency rules,
+3. bind executable stubs to a simulated device on the bus,
+4. operate the device through typed, named accessors,
+5. emit the C header a kernel driver would include (Figure 3c),
+6. watch the checker reject a broken specification.
+
+Run:  python3 examples/quickstart.py
+"""
+
+from repro.bus import Bus
+from repro.devil.compiler import compile_spec
+from repro.devil.errors import DevilCheckError
+
+SPEC = """
+// A small status/control chip: one control register shared by three
+// typed variables, one read-only status register.
+device demo_chip (base : bit[8] port @ {0..1})
+{
+    register control = write base @ 0, mask '1..0....' : bit[8];
+    variable power = control[6..5] :
+        { OFF => '00', STANDBY => '01', ON => '10' };
+    variable gain = control[3..0] : int(4);
+
+    register status = read base @ 1 : bit[8];
+    variable ready = status[7], volatile : bool;
+    variable temperature = status[6..0], volatile : int(7);
+}
+"""
+
+
+class DemoChip:
+    """Behavioural model of the imaginary chip."""
+
+    def __init__(self):
+        self.control = 0
+        self.temperature = 42
+
+    def io_read(self, offset, width):
+        if offset == 1:
+            ready = 0x80 if self.control & 0b0100_0000 else 0
+            return ready | self.temperature
+        raise RuntimeError("control register is write-only")
+
+    def io_write(self, offset, value, width):
+        assert offset == 0
+        self.control = value
+
+
+def main() -> None:
+    print("1. Compiling the specification...")
+    spec = compile_spec(SPEC, filename="demo_chip.devil")
+    print(f"   device {spec.name!r}: "
+          f"{len(spec.model.registers)} registers, "
+          f"{len(spec.model.variables)} variables")
+
+    print("2. Binding stubs to a simulated bus...")
+    bus = Bus()
+    chip = DemoChip()
+    bus.map_device(0x200, 2, chip, "demo")
+    device = spec.bind(bus, {"base": 0x200}, debug=True)
+
+    print("3. Operating the device through the generated interface...")
+    device.set_power("ON")            # enum symbol, not a magic number
+    device.set_gain(7)                # range-checked int(4)
+    print(f"   control register is now {chip.control:#04x} "
+          f"(bit 7 forced to 1 by the mask)")
+    print(f"   ready = {device.get_ready()}")
+    print(f"   temperature = {device.get_temperature()}")
+    print(f"   bus operations so far: {bus.accounting.total_ops}")
+
+    print("4. Debug-mode checks (§3.2) catch bad values:")
+    try:
+        device.set_gain(99)
+    except Exception as error:
+        print(f"   set_gain(99) -> {error}")
+
+    print("5. Emitting the C stub header (first lines):")
+    header = spec.emit_c(prefix="demo")
+    for line in header.splitlines()[:6]:
+        print(f"   {line}")
+    print("   ...")
+
+    print("6. The checker rejects inconsistent specifications:")
+    broken = SPEC.replace("variable gain = control[3..0]",
+                          "variable gain = control[4..0]")
+    try:
+        compile_spec(broken)
+    except DevilCheckError as error:
+        first = str(error).splitlines()[1]
+        print(f"   {first}")
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Driving the CS4236B — the paper's most contorted chip.
+
+The Crystal CS4236B hides 18 extended registers behind a two-level
+indexing automaton: indexed register I23 becomes an extended *data*
+register after its XRAE bit is written true, and only a write to the
+control register turns it back into an address register.  The Devil
+specification captures this with a private memory variable (``xm``),
+``set`` actions and a ``write trigger for true`` qualifier — and the
+driver below never has to know.
+
+Run:  python3 examples/sound_mixer.py
+"""
+
+from repro.bus import Bus
+from repro.devices.cs4236 import REGION_SIZE, Cs4236Model
+from repro.specs import compile_shipped
+
+BASE = 0x534
+
+
+def main() -> None:
+    bus = Bus(tracing=True)
+    chip = Cs4236Model()
+    bus.map_device(BASE, REGION_SIZE, chip, "cs4236")
+    mixer = compile_shipped("cs4236").bind(bus, {"base": BASE})
+
+    print(f"codec id: {mixer.get_chip_id():#x}, "
+          f"mode2: {mixer.get_mode2()}")
+
+    print("\nprogramming the analog front end (plain indexed regs)...")
+    mixer.set_left_adc_input(left_input_gain=10, left_mic_boost=True,
+                             left_input_source="MIC", left_input_pad=False)
+    mixer.set_left_dac_output(left_dac_attenuation=6, left_dac_mute=False,
+                              left_dac_pad=False)
+    print(f"  I0 = {chip.indexed[0]:#04x}, I6 = {chip.indexed[6]:#04x}")
+
+    print("\nreading the version through the extended-register "
+          "automaton...")
+    trace_start = len(bus.trace)
+    version = mixer.get_version()
+    print(f"  X25 = {version:#04x}")
+    print("  bus trace of that one get_version() call:")
+    for entry in bus.trace[trace_start:]:
+        meaning = {0: "index/control", 1: "data"}[entry.port - BASE]
+        print(f"    {entry.op} {meaning:<13} {entry.value:#04x}")
+
+    print("\nmic volume through an extended register...")
+    mixer.set_mic_left_volume(19)
+    print(f"  X2 = {chip.extended[2]:#04x}")
+
+    print("\nwriting ACF must NOT trip the automaton "
+          "(XRAE composes to its neutral false):")
+    mixer.set_ACF(True)
+    print(f"  I23 = {chip.indexed[23]:#04x}, "
+          f"extended mode: {chip.extended_mode}")
+
+    assert not chip.extended_mode
+    assert mixer.get_version() == version
+    print("\nautomaton state consistent — the spec's xm variable and "
+          "the silicon agree.")
+
+
+if __name__ == "__main__":
+    main()

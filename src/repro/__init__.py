@@ -1,0 +1,50 @@
+"""Reproduction of "Devil: An IDL for Hardware Programming" (OSDI 2000).
+
+Devil is an Interface Definition Language for the hardware operating
+layer of device drivers: a specification describes a device through
+ports, registers and typed device variables; a compiler statically
+verifies its consistency and generates the low-level accessor stubs a
+driver uses instead of hand-written bit manipulation.
+
+Package map:
+
+``repro.devil``
+    The Devil toolchain: lexer, parser, static checker (§3.1 rules),
+    resolved model, executable stub runtime, C and Python backends,
+    and the ``devilc`` CLI.
+``repro.bus``
+    Simulated I/O/MMIO bus with per-access accounting.
+``repro.devices``
+    Behavioural models of the paper's seven device classes.
+``repro.specs``
+    The shipped Devil specification library (one ``.devil`` file per
+    device).
+``repro.drivers``
+    Paired hand-written (Figure 2 idiom) and Devil-based (Figure 3
+    idiom) drivers for busmouse, IDE, NE2000 and Permedia2.
+``repro.minic``
+    A mini C front end modelling compile-time error detection, used by
+    the mutation analysis.
+``repro.mutation``
+    The Table 1 robustness study (mutation analysis).
+``repro.perf``
+    The Table 2/3/4 performance experiments and the §4.3 micro-analysis.
+
+Quickstart::
+
+    from repro.bus import Bus
+    from repro.devices.busmouse import BusmouseModel
+    from repro.specs import compile_shipped
+
+    spec = compile_shipped("busmouse")
+    bus = Bus()
+    bus.map_device(0x23C, 4, BusmouseModel())
+    mouse = spec.bind(bus, {"base": 0x23C})
+    mouse.set_config("CONFIGURATION")
+"""
+
+from .devil.compiler import CompiledSpec, compile_file, compile_spec
+
+__version__ = "1.0.0"
+
+__all__ = ["CompiledSpec", "compile_file", "compile_spec", "__version__"]

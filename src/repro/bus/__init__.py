@@ -1,0 +1,21 @@
+"""Simulated I/O bus substrate.
+
+The paper's generated stubs talk to hardware exclusively through port
+reads and writes (``inb``/``outb`` and friends) or memory-mapped
+accesses; the port abstraction of Devil deliberately hides which of the
+two a device uses.  This package provides the equivalent substrate for
+the reproduction: a :class:`~repro.bus.bus.Bus` with pluggable
+behavioural device models, per-access accounting (the basis of the
+paper's I/O-operation columns in Tables 2-4), block (``rep``-style)
+transfers, and optional tracing.
+"""
+
+from .bus import Bus, BusError, IoAccounting, IoTraceEntry, MappedDevice
+
+__all__ = [
+    "Bus",
+    "BusError",
+    "IoAccounting",
+    "IoTraceEntry",
+    "MappedDevice",
+]

@@ -1,0 +1,33 @@
+"""Behavioural device models: the simulated hardware substrate.
+
+One module per chip the paper studied.  Each model implements the bus
+protocol (``io_read``/``io_write``) plus a harness-side API for tests
+and examples (injecting mouse motion, delivering Ethernet frames,
+running DMA transfers...).  The models respond to register-level
+semantics — index registers, flip-flops, init-sequence automata, FIFO
+pacing, packet rings — which is exactly the level Devil abstracts.
+"""
+
+from .busmouse import BusmouseModel
+from .cs4236 import Cs4236Model
+from .dma8237 import Dma8237Model
+from .ide import IdeControlPort, IdeDiskModel
+from .ne2000 import Ne2000DataPort, Ne2000Model, Ne2000ResetPort
+from .permedia2 import Permedia2Aperture, Permedia2Model
+from .pic8259 import Pic8259Model
+from .piix4 import Piix4Model
+
+__all__ = [
+    "BusmouseModel",
+    "Cs4236Model",
+    "Dma8237Model",
+    "IdeControlPort",
+    "IdeDiskModel",
+    "Ne2000DataPort",
+    "Ne2000Model",
+    "Ne2000ResetPort",
+    "Permedia2Aperture",
+    "Permedia2Model",
+    "Pic8259Model",
+    "Piix4Model",
+]

@@ -1,0 +1,155 @@
+"""Behavioural model of the Logitech Busmouse controller.
+
+The register protocol follows the original Linux ``logibusmouse``
+driver fragment reproduced in Figure 2 of the paper:
+
+========  =====  ====================================================
+offset    dir    meaning
+========  =====  ====================================================
+0         read   data port — one nibble of the motion counters,
+                 selected by the index register; the top three bits of
+                 the ``y_high`` nibble carry the button state
+1         r/w    signature register (used for device detection: the
+                 driver writes a byte and reads it back)
+2         write  control port: bit 7 set → bits 6..5 select the data
+                 nibble (0 = x_low, 1 = x_high, 2 = y_low, 3 = y_high);
+                 bit 7 clear → bit 4 disables (1) / enables (0) the
+                 interrupt; enabling also ends the read cycle and
+                 clears the motion counters
+3         write  configuration register (0x91 = configuration mode,
+                 0x90 = default mode)
+========  =====  ====================================================
+
+The model accumulates motion injected by the test harness through
+:meth:`move` and :meth:`set_buttons`; counters are latched for the
+duration of a read cycle and cleared when the driver re-enables the
+interrupt, which is exactly the protocol both the hand-written and the
+Devil-based drivers follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bus import BusError
+
+#: Size of the I/O window the mouse decodes.
+REGION_SIZE = 4
+
+_DATA = 0
+_SIGNATURE = 1
+_CONTROL = 2
+_CONFIG = 3
+
+#: Nibble selectors (values of control-port bits 6..5).
+_X_LOW, _X_HIGH, _Y_LOW, _Y_HIGH = 0, 1, 2, 3
+
+
+@dataclass
+class BusmouseModel:
+    """Simulated Logitech busmouse."""
+
+    #: Pending motion since the last completed read cycle.
+    pending_dx: int = 0
+    pending_dy: int = 0
+    #: Current button bits (bit 2 = left, 1 = middle, 0 = right), in
+    #: the already-decoded convention of the paper's ``buttons``
+    #: variable (Figure 1 reads them straight out of ``y_high[7..5]``).
+    buttons: int = 0
+
+    signature: int = 0
+    config: int = 0
+    interrupt_disabled: bool = True
+    index: int = 0
+
+    #: Counters latched for the current read cycle.
+    latched_dx: int = 0
+    latched_dy: int = 0
+    _cycle_open: bool = field(default=False, repr=False)
+
+    #: Number of interrupts the device would have raised.
+    interrupts_raised: int = 0
+
+    # ------------------------------------------------------------------
+    # Harness-side API
+    # ------------------------------------------------------------------
+
+    def move(self, dx: int, dy: int) -> None:
+        """Inject relative motion (what the ball would report)."""
+        self.pending_dx += dx
+        self.pending_dy += dy
+        if not self.interrupt_disabled:
+            self.interrupts_raised += 1
+
+    def set_buttons(self, buttons: int) -> None:
+        """Set the three button bits."""
+        if not 0 <= buttons <= 0b111:
+            raise ValueError(f"button bits out of range: {buttons}")
+        self.buttons = buttons
+        if not self.interrupt_disabled:
+            self.interrupts_raised += 1
+
+    # ------------------------------------------------------------------
+    # Bus interface
+    # ------------------------------------------------------------------
+
+    def io_read(self, offset: int, width: int) -> int:
+        if width != 8:
+            raise BusError(f"busmouse only decodes 8-bit accesses, "
+                           f"got {width}")
+        if offset == _DATA:
+            return self._read_data()
+        if offset == _SIGNATURE:
+            return self.signature
+        raise BusError(f"busmouse offset {offset} is write-only "
+                       f"or unmapped for reads")
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if width != 8:
+            raise BusError(f"busmouse only decodes 8-bit accesses, "
+                           f"got {width}")
+        if offset == _SIGNATURE:
+            self.signature = value
+        elif offset == _CONTROL:
+            self._write_control(value)
+        elif offset == _CONFIG:
+            self.config = value
+        else:
+            raise BusError(f"busmouse offset {offset} is read-only "
+                           f"or unmapped for writes")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _latch_if_needed(self) -> None:
+        if not self._cycle_open:
+            self.latched_dx = self.pending_dx
+            self.latched_dy = self.pending_dy
+            self._cycle_open = True
+
+    def _read_data(self) -> int:
+        self._latch_if_needed()
+        dx = self.latched_dx & 0xFF
+        dy = self.latched_dy & 0xFF
+        if self.index == _X_LOW:
+            return dx & 0x0F
+        if self.index == _X_HIGH:
+            return (dx >> 4) & 0x0F
+        if self.index == _Y_LOW:
+            return dy & 0x0F
+        # y_high: buttons in bits 7..5, the high motion nibble below.
+        return ((self.buttons & 0b111) << 5) | ((dy >> 4) & 0x0F)
+
+    def _write_control(self, value: int) -> None:
+        if value & 0x80:
+            self.index = (value >> 5) & 0b11
+            return
+        self.interrupt_disabled = bool(value & 0x10)
+        if not self.interrupt_disabled and self._cycle_open:
+            # End of read cycle: consume the latched motion.
+            self.pending_dx -= self.latched_dx
+            self.pending_dy -= self.latched_dy
+            self.latched_dx = 0
+            self.latched_dy = 0
+            self._cycle_open = False

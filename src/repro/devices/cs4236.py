@@ -1,0 +1,111 @@
+"""Behavioural model of the Crystal CS4236B sound controller.
+
+The paper calls this chip "one of the most complex" it studied, because
+of its doubly-indexed extended registers: the Windows Sound System
+index register (IA, port 0) selects one of 32 indexed registers behind
+the data port (port 1); indexed register **I23** doubles as a gate to
+18 further *extended* registers.  Writing I23 with the XRAE bit set
+latches the extended address (the XA field, split across bits 2 and
+7..4) and converts I23 into an extended **data** register: the next
+accesses to the data port with IA = 23 hit the extended register
+instead.  Writing the control register converts I23 back into an
+address register.
+
+The model mirrors this automaton with an explicit ``extended_mode``
+flag — the hardware counterpart of the Devil specification's private
+memory variable ``xm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bus import BusError
+
+REGION_SIZE = 2
+
+#: Extended register indices that exist on the CS4236B.
+EXTENDED_INDICES = frozenset(range(18)) | {25}
+
+#: Reset value of X25 (chip version/revision identifier).
+VERSION_ID = 0b10101011
+
+#: Reset value of the I12 ID field (CS4236B mode-2 codec id).
+CHIP_ID = 0b1010
+
+
+@dataclass
+class Cs4236Model:
+    """Simulated CS4236B (WSS codec part + extended registers)."""
+
+    index_address: int = 0          # IA bits 4..0
+    mode_change_enable: bool = False
+    indexed: list[int] = field(
+        default_factory=lambda: [0] * 32)
+    extended: dict[int, int] = field(
+        default_factory=lambda: {i: 0 for i in EXTENDED_INDICES})
+    #: True while I23 acts as an extended data register (the xm state).
+    extended_mode: bool = False
+    extended_address: int = 0       # latched XA
+
+    def __post_init__(self) -> None:
+        self.indexed[12] = CHIP_ID | 0b01000000  # mode-2 bit set
+        self.extended[25] = VERSION_ID
+
+    # ------------------------------------------------------------------
+    # Bus interface
+    # ------------------------------------------------------------------
+
+    def io_read(self, offset: int, width: int) -> int:
+        if width != 8:
+            raise BusError(f"CS4236B only decodes 8-bit accesses, "
+                           f"got {width}")
+        if offset == 0:
+            return self.index_address | \
+                (0b01000000 if self.mode_change_enable else 0)
+        if offset == 1:
+            return self._data_read()
+        raise BusError(f"CS4236B has no offset {offset}")
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if width != 8:
+            raise BusError(f"CS4236B only decodes 8-bit accesses, "
+                           f"got {width}")
+        if offset == 0:
+            self.index_address = value & 0b11111
+            self.mode_change_enable = bool(value & 0b01000000)
+            # Any control write converts I23 back to an address register.
+            self.extended_mode = False
+        elif offset == 1:
+            self._data_write(value)
+        else:
+            raise BusError(f"CS4236B has no offset {offset}")
+
+    # ------------------------------------------------------------------
+    # Data port (indexed / extended access)
+    # ------------------------------------------------------------------
+
+    def _check_extended_address(self) -> int:
+        if self.extended_address not in EXTENDED_INDICES:
+            raise BusError(
+                f"extended register X{self.extended_address} does not "
+                f"exist on the CS4236B")
+        return self.extended_address
+
+    def _data_read(self) -> int:
+        if self.extended_mode and self.index_address == 23:
+            return self.extended[self._check_extended_address()]
+        return self.indexed[self.index_address]
+
+    def _data_write(self, value: int) -> None:
+        if self.extended_mode and self.index_address == 23:
+            self.extended[self._check_extended_address()] = value
+            return
+        if self.index_address == 23:
+            self.indexed[23] = value & 0b11111101  # bit 1 always zero
+            if value & 0b1000:  # XRAE: latch XA, enter extended mode
+                self.extended_address = (((value >> 2) & 1) << 4) | \
+                    ((value >> 4) & 0b1111)
+                self.extended_mode = True
+            return
+        self.indexed[self.index_address] = value

@@ -1,0 +1,193 @@
+"""Behavioural model of the Intel 8237A DMA controller.
+
+Implements the register protocol the Devil specification (and any
+hand-written driver) exercises:
+
+* the byte-pointer **flip-flop**: address/count registers are 16 bits
+  wide but accessed through 8-bit ports; the flip-flop selects low or
+  high byte and toggles on every access.  Writing anything to offset 12
+  resets it — the paper's "Register serialization" example exists
+  precisely because forgetting this reset is a classic driver bug;
+* four channels with base/current address and count registers;
+* mode, request, mask, command, status registers;
+* master clear (offset 13), clear-mask (offset 14), all-mask (offset 15).
+
+The harness-side :meth:`run_channel` performs a whole programmed
+transfer against a :class:`bytearray`-backed memory, decrementing the
+current count to the 0xFFFF terminal state and setting the status TC
+bit, which is what both driver flavours poll in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bus import BusError
+
+REGION_SIZE = 16
+
+#: Mode-register transfer types (bits 3..2).
+VERIFY, WRITE_MEM, READ_MEM = 0b00, 0b01, 0b10
+
+
+@dataclass
+class _Channel:
+    base_address: int = 0
+    current_address: int = 0
+    base_count: int = 0
+    current_count: int = 0
+    mode: int = 0
+    masked: bool = True
+    requested: bool = False
+    reached_tc: bool = False
+
+
+@dataclass
+class Dma8237Model:
+    """Simulated 8237A."""
+
+    channels: list[_Channel] = field(
+        default_factory=lambda: [_Channel() for _ in range(4)])
+    flip_flop_high: bool = False
+    command: int = 0
+
+    # ------------------------------------------------------------------
+    # Bus interface
+    # ------------------------------------------------------------------
+
+    def io_read(self, offset: int, width: int) -> int:
+        if width != 8:
+            raise BusError(f"8237A only decodes 8-bit accesses, got {width}")
+        if 0 <= offset <= 7:
+            return self._read_addr_count(offset)
+        if offset == 8:
+            return self._read_status()
+        if offset == 15:
+            return self._mask_bits()
+        raise BusError(f"8237A offset {offset} is not readable")
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if width != 8:
+            raise BusError(f"8237A only decodes 8-bit accesses, got {width}")
+        if 0 <= offset <= 7:
+            self._write_addr_count(offset, value)
+        elif offset == 8:
+            self.command = value
+        elif offset == 9:
+            channel = self.channels[value & 0b11]
+            channel.requested = bool(value & 0b100)
+        elif offset == 10:
+            channel = self.channels[value & 0b11]
+            channel.masked = bool(value & 0b100)
+        elif offset == 11:
+            self.channels[value & 0b11].mode = value
+        elif offset == 12:
+            self.flip_flop_high = False
+        elif offset == 13:
+            self.master_clear()
+        elif offset == 14:
+            for channel in self.channels:
+                channel.masked = False
+        elif offset == 15:
+            for index, channel in enumerate(self.channels):
+                channel.masked = bool(value & (1 << index))
+        else:
+            raise BusError(f"8237A offset {offset} is not writable")
+
+    # ------------------------------------------------------------------
+    # Register helpers
+    # ------------------------------------------------------------------
+
+    def _channel_of(self, offset: int) -> tuple[_Channel, bool]:
+        """(channel, is_count) for address/count offsets 0..7."""
+        return self.channels[offset // 2], bool(offset % 2)
+
+    def _read_addr_count(self, offset: int) -> int:
+        channel, is_count = self._channel_of(offset)
+        word = channel.current_count if is_count else channel.current_address
+        value = (word >> 8) & 0xFF if self.flip_flop_high else word & 0xFF
+        self.flip_flop_high = not self.flip_flop_high
+        return value
+
+    def _write_addr_count(self, offset: int, value: int) -> None:
+        channel, is_count = self._channel_of(offset)
+        if is_count:
+            if self.flip_flop_high:
+                channel.base_count = (channel.base_count & 0x00FF) | \
+                    (value << 8)
+            else:
+                channel.base_count = (channel.base_count & 0xFF00) | value
+            channel.current_count = channel.base_count
+        else:
+            if self.flip_flop_high:
+                channel.base_address = (channel.base_address & 0x00FF) | \
+                    (value << 8)
+            else:
+                channel.base_address = (channel.base_address & 0xFF00) | value
+            channel.current_address = channel.base_address
+        self.flip_flop_high = not self.flip_flop_high
+
+    def _read_status(self) -> int:
+        value = 0
+        for index, channel in enumerate(self.channels):
+            if channel.reached_tc:
+                value |= 1 << index
+            if channel.requested:
+                value |= 1 << (4 + index)
+        # Reading the status register clears the TC bits (8237A datasheet).
+        for channel in self.channels:
+            channel.reached_tc = False
+        return value
+
+    def _mask_bits(self) -> int:
+        value = 0
+        for index, channel in enumerate(self.channels):
+            if channel.masked:
+                value |= 1 << index
+        return value
+
+    def master_clear(self) -> None:
+        """Reset: flip-flop cleared, all channels masked, status cleared."""
+        self.flip_flop_high = False
+        self.command = 0
+        for channel in self.channels:
+            channel.masked = True
+            channel.requested = False
+            channel.reached_tc = False
+
+    # ------------------------------------------------------------------
+    # Harness-side API
+    # ------------------------------------------------------------------
+
+    def run_channel(self, index: int, memory: bytearray,
+                    device_data: bytes | None = None) -> bytes:
+        """Execute a programmed transfer on channel ``index``.
+
+        ``WRITE_MEM`` transfers copy ``device_data`` into ``memory`` at
+        the programmed address; ``READ_MEM`` transfers return the bytes
+        read out of ``memory``.  The count register holds *count - 1*,
+        as on the real part, and ends at the 0xFFFF terminal value.
+        """
+        channel = self.channels[index]
+        if channel.masked:
+            raise BusError(f"DMA channel {index} is masked")
+        length = (channel.current_count + 1) & 0xFFFF
+        address = channel.current_address
+        transfer_type = (channel.mode >> 2) & 0b11
+        out = b""
+        if transfer_type == WRITE_MEM:
+            if device_data is None or len(device_data) < length:
+                raise BusError(
+                    f"channel {index} needs {length} device byte(s)")
+            memory[address:address + length] = device_data[:length]
+        elif transfer_type == READ_MEM:
+            out = bytes(memory[address:address + length])
+        elif transfer_type != VERIFY:
+            raise BusError(f"illegal transfer type {transfer_type:#04b}")
+        channel.current_address = (address + length) & 0xFFFF
+        channel.current_count = 0xFFFF
+        channel.reached_tc = True
+        if (channel.mode >> 4) & 1:  # autoinit
+            channel.current_address = channel.base_address
+            channel.current_count = channel.base_count
+        return out

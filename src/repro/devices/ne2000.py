@@ -1,0 +1,353 @@
+"""Behavioural model of the NE2000 Ethernet controller (DP8390 core).
+
+Implements everything the specification and the drivers exercise:
+
+* the command register with its **page-select** bits (the private
+  ``page`` variable of the Devil spec drives these through
+  pre-actions), the START/STOP state, the TXP transmit trigger and the
+  remote-DMA command field with its NODMA neutral value;
+* a 16 KiB on-board packet RAM organised in 256-byte pages, with the
+  receive ring delimited by PSTART/PSTOP and tracked by BOUNDARY/CURR;
+* the **remote DMA** engine: RSAR/RBCR program a transfer window, the
+  16-bit data port moves it one word at a time (or as one ``rep``-style
+  block), and completion raises the RDC bit in ISR;
+* packet reception into the ring with the standard 4-byte storage
+  header (status, next page, length low, length high) and the
+  packet-received ISR bit;
+* transmission out of TPSR/TBCR with the packet-transmitted ISR bit;
+* the reset port.
+
+The harness API (:meth:`receive_frame`, :attr:`transmitted`) lets tests
+and examples run complete send/receive cycles through either driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bus import BusError
+
+REGION_SIZE = 16  # register window; the data and reset ports map separately
+
+RAM_SIZE = 16 * 1024
+RAM_BASE = 0x4000          # on-board RAM is addressed at 0x4000, as on
+PAGE_SIZE = 256            # the real card (remote DMA uses NIC addresses)
+
+# Remote-DMA command encodings (CR bits 5..3).
+_RD_READ, _RD_WRITE, _RD_SEND, _RD_NODMA = 0b001, 0b010, 0b011, 0b100
+
+
+@dataclass
+class Ne2000Model:
+    """Simulated NE2000."""
+
+    mac: bytes = b"\x00\x40\x05\x12\x34\x56"
+
+    running: bool = False
+    page: int = 0
+    remote_cmd: int = _RD_NODMA
+
+    ram: bytearray = field(default_factory=lambda: bytearray(RAM_SIZE))
+    page_start: int = 0x40
+    page_stop: int = 0x80
+    boundary: int = 0x40
+    current: int = 0x40
+    tx_page_start: int = 0x40
+    tx_byte_count: int = 0
+
+    remote_address: int = 0
+    remote_count: int = 0
+
+    isr: int = 0
+    imr: int = 0
+    rcr: int = 0
+    tcr: int = 0
+    dcr: int = 0
+
+    #: Frames the model "put on the wire".
+    transmitted: list[bytes] = field(default_factory=list)
+    #: Interrupts that would have been raised (ISR & IMR edges).
+    interrupts_raised: int = 0
+    resets: int = 0
+
+    # ------------------------------------------------------------------
+    # Bus interface: register window
+    # ------------------------------------------------------------------
+
+    def io_read(self, offset: int, width: int) -> int:
+        if width != 8:
+            raise BusError(f"NE2000 register window is 8-bit, got {width}")
+        if offset == 0:
+            return self._read_cr()
+        if self.page == 0:
+            return self._read_page0(offset)
+        if self.page == 1:
+            return self._read_page1(offset)
+        raise BusError(f"NE2000 page {self.page} reads are not modelled")
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if width != 8:
+            raise BusError(f"NE2000 register window is 8-bit, got {width}")
+        if offset == 0:
+            self._write_cr(value)
+            return
+        if self.page == 0:
+            self._write_page0(offset, value)
+        elif self.page == 1:
+            self._write_page1(offset, value)
+        else:
+            raise BusError(f"NE2000 page {self.page} writes are not "
+                           f"modelled")
+
+    # ------------------------------------------------------------------
+    # Command register
+    # ------------------------------------------------------------------
+
+    def _read_cr(self) -> int:
+        st = 0b10 if self.running else 0b01
+        return (self.page << 6) | (self.remote_cmd << 3) | st
+
+    def _write_cr(self, value: int) -> None:
+        self.page = (value >> 6) & 0b11
+        st = value & 0b11
+        if st == 0b01:
+            self.running = False
+        elif st == 0b10:
+            self.running = True
+        # st == 0b00 (the spec's NEUTRAL) leaves the state unchanged.
+        remote = (value >> 3) & 0b111
+        if remote != 0:
+            self._set_remote_cmd(remote)
+        if value & 0b100:  # TXP
+            self._transmit()
+
+    def _set_remote_cmd(self, remote: int) -> None:
+        if remote == _RD_SEND:
+            # "Send packet": auto-programs a remote read of the frame
+            # at the boundary pointer.  Modelled as a plain remote read.
+            self.remote_address = self.boundary * PAGE_SIZE
+            self.remote_cmd = _RD_READ
+        elif remote in (_RD_READ, _RD_WRITE):
+            self.remote_cmd = remote
+        else:
+            self.remote_cmd = _RD_NODMA
+
+    # ------------------------------------------------------------------
+    # Page 0
+    # ------------------------------------------------------------------
+
+    def _read_page0(self, offset: int) -> int:
+        if offset == 3:
+            return self.boundary
+        if offset == 7:
+            return self.isr
+        raise BusError(f"NE2000 page-0 offset {offset} is write-only")
+
+    def _write_page0(self, offset: int, value: int) -> None:
+        if offset == 1:
+            self.page_start = value
+        elif offset == 2:
+            self.page_stop = value
+        elif offset == 3:
+            self.boundary = value
+        elif offset == 4:
+            self.tx_page_start = value
+        elif offset == 5:
+            self.tx_byte_count = (self.tx_byte_count & 0xFF00) | value
+        elif offset == 6:
+            self.tx_byte_count = (self.tx_byte_count & 0x00FF) | (value << 8)
+        elif offset == 7:
+            self.isr &= ~value  # write-1-to-clear
+        elif offset == 8:
+            self.remote_address = (self.remote_address & 0xFF00) | value
+        elif offset == 9:
+            self.remote_address = (self.remote_address & 0x00FF) | \
+                (value << 8)
+        elif offset == 10:
+            self.remote_count = (self.remote_count & 0xFF00) | value
+        elif offset == 11:
+            self.remote_count = (self.remote_count & 0x00FF) | (value << 8)
+        elif offset == 12:
+            self.rcr = value
+        elif offset == 13:
+            self.tcr = value
+        elif offset == 14:
+            self.dcr = value
+        elif offset == 15:
+            self.imr = value
+        else:
+            raise BusError(f"NE2000 page-0 offset {offset} unmapped")
+
+    # ------------------------------------------------------------------
+    # Page 1
+    # ------------------------------------------------------------------
+
+    def _read_page1(self, offset: int) -> int:
+        if 1 <= offset <= 6:
+            return self.mac[offset - 1]
+        if offset == 7:
+            return self.current
+        raise BusError(f"NE2000 page-1 offset {offset} unmapped")
+
+    def _write_page1(self, offset: int, value: int) -> None:
+        if 1 <= offset <= 6:
+            mac = bytearray(self.mac)
+            mac[offset - 1] = value
+            self.mac = bytes(mac)
+        elif offset == 7:
+            self.current = value
+        else:
+            raise BusError(f"NE2000 page-1 offset {offset} unmapped")
+
+    # ------------------------------------------------------------------
+    # RAM addressing
+    # ------------------------------------------------------------------
+
+    def _ram_index(self, nic_address: int) -> int:
+        index = nic_address - RAM_BASE
+        if not 0 <= index < RAM_SIZE:
+            raise BusError(
+                f"remote DMA address {nic_address:#06x} outside the "
+                f"on-board RAM window")
+        return index
+
+    # ------------------------------------------------------------------
+    # Remote DMA data port (mapped separately, 16-bit)
+    # ------------------------------------------------------------------
+
+    def data_port_read(self, width: int) -> int:
+        if self.remote_cmd != _RD_READ:
+            raise BusError("data port read without a remote-read command")
+        bytes_per_access = width // 8
+        value = 0
+        for i in range(bytes_per_access):
+            index = self._ram_index(self.remote_address)
+            value |= self.ram[index] << (8 * i)
+            self.remote_address += 1
+            if self.remote_count > 0:
+                self.remote_count -= 1
+        if self.remote_count == 0:
+            self._finish_remote_dma()
+        return value
+
+    def data_port_write(self, value: int, width: int) -> None:
+        if self.remote_cmd != _RD_WRITE:
+            raise BusError("data port write without a remote-write command")
+        for i in range(width // 8):
+            index = self._ram_index(self.remote_address)
+            self.ram[index] = (value >> (8 * i)) & 0xFF
+            self.remote_address += 1
+            if self.remote_count > 0:
+                self.remote_count -= 1
+        if self.remote_count == 0:
+            self._finish_remote_dma()
+
+    def _finish_remote_dma(self) -> None:
+        self.remote_cmd = _RD_NODMA
+        self._raise_isr(0x40)  # RDC
+
+    # ------------------------------------------------------------------
+    # Interrupts
+    # ------------------------------------------------------------------
+
+    def _raise_isr(self, bits: int) -> None:
+        self.isr |= bits
+        if self.isr & self.imr:
+            self.interrupts_raised += 1
+
+    # ------------------------------------------------------------------
+    # Transmission / reception
+    # ------------------------------------------------------------------
+
+    def _transmit(self) -> None:
+        if not self.running:
+            raise BusError("TXP while the NIC is stopped")
+        start = self._ram_index(self.tx_page_start * PAGE_SIZE)
+        length = self.tx_byte_count
+        frame = bytes(self.ram[start:start + length])
+        if len(frame) < length:
+            raise BusError("transmit window exceeds on-board RAM")
+        self.transmitted.append(frame)
+        self._raise_isr(0x02)  # PTX
+
+    def receive_frame(self, frame: bytes) -> bool:
+        """Deliver a frame from the wire into the receive ring.
+
+        Returns False (and raises the overwrite-warning bit) if the
+        ring is full.  The 4-byte storage header matches the DP8390:
+        status, next-page pointer, byte count low, byte count high.
+        """
+        if not self.running:
+            return False
+        total = len(frame) + 4
+        pages_needed = (total + PAGE_SIZE - 1) // PAGE_SIZE
+        ring_pages = self.page_stop - self.page_start
+        used = (self.current - self.boundary) % ring_pages
+        if used + pages_needed >= ring_pages:
+            self._raise_isr(0x10)  # OVW
+            return False
+        next_page = self.current + pages_needed
+        if next_page >= self.page_stop:
+            next_page = self.page_start + (next_page - self.page_stop)
+
+        header = bytes((
+            0x01,                  # receive status: packet intact
+            next_page,
+            total & 0xFF,
+            (total >> 8) & 0xFF,
+        ))
+        self._store_wrapped(self.current, header + frame)
+        self.current = next_page
+        self._raise_isr(0x01)  # PRX
+        return True
+
+    def _store_wrapped(self, start_page: int, payload: bytes) -> None:
+        """Store bytes at a NIC address, wrapping inside the ring."""
+        position = start_page * PAGE_SIZE  # NIC address (pages 0x40..)
+        for byte in payload:
+            if position >= self.page_stop * PAGE_SIZE:
+                position = self.page_start * PAGE_SIZE
+            self.ram[self._ram_index(position)] = byte
+            position += 1
+
+    # ------------------------------------------------------------------
+    # Reset port
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.resets += 1
+        self.running = False
+        self.remote_cmd = _RD_NODMA
+        self.isr = 0x80  # RST
+        self.page = 0
+
+
+class Ne2000DataPort:
+    """Bus adapter for the 16-bit remote-DMA data port."""
+
+    def __init__(self, nic: Ne2000Model):
+        self.nic = nic
+
+    def io_read(self, offset: int, width: int) -> int:
+        if offset != 0:
+            raise BusError(f"data port has no offset {offset}")
+        return self.nic.data_port_read(width)
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if offset != 0:
+            raise BusError(f"data port has no offset {offset}")
+        self.nic.data_port_write(value, width)
+
+
+class Ne2000ResetPort:
+    """Bus adapter for the reset port: any access resets the NIC."""
+
+    def __init__(self, nic: Ne2000Model):
+        self.nic = nic
+
+    def io_read(self, offset: int, width: int) -> int:
+        self.nic.reset()
+        return 0xFF
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        self.nic.reset()

@@ -1,0 +1,222 @@
+"""Behavioural model of the 3Dlabs Permedia2 graphics controller.
+
+The performance-relevant behaviour for Tables 3 and 4 of the paper is
+the **input FIFO**: every drawing-register store lands in a FIFO of
+:data:`FIFO_DEPTH` entries, and before queueing a primitive the driver
+must poll ``fifo_space`` until enough entries are free.  Each poll is
+one I/O operation; the paper denotes the iteration count per wait loop
+``#w``.  The model drains :attr:`drain_per_poll` entries per status
+poll, so benches can dial ``#w`` to the regime they want to study.
+
+Functionally the model implements a real (small) framebuffer with the
+two accelerated primitives the Xfree86 driver uses — ``fill rectangle``
+and ``screen area copy`` — plus the software-rendering aperture (an
+address register and an auto-incrementing data window).
+
+Pixel-count accounting (:attr:`pixels_filled`, :attr:`pixels_copied`,
+``bytes_touched``) feeds the timing model: the paper observes that
+drawing time is "proportional to the number of drawn pixels and their
+depth".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bus import BusError
+
+REGION_SIZE = 14
+FIFO_DEPTH = 32
+
+_FILL, _COPY, _SYNC = 0b01, 0b10, 0b11
+
+#: bytes per pixel for the four depth codes (BPP8/16/24/32).
+DEPTH_BYTES = {0b00: 1, 0b01: 2, 0b10: 3, 0b11: 4}
+
+
+@dataclass
+class Permedia2Model:
+    """Simulated Permedia2."""
+
+    width: int = 640
+    height: int = 480
+    #: FIFO entries freed per fifo_space poll (controls #w).
+    drain_per_poll: int = 16
+
+    framebuffer: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    fifo_used: int = 0
+    block_color: int = 0
+    rect_x: int = 0
+    rect_y: int = 0
+    rect_width: int = 0
+    rect_height: int = 0
+    copy_dx: int = 0
+    copy_dy: int = 0
+    depth_code: int = 0b00
+    scissor_min: tuple[int, int] = (0, 0)
+    scissor_max: tuple[int, int] = (0xFFFF, 0xFFFF)
+    write_mask: int = 0xFFFFFFFF
+    logical_op: int = 0x3  # SRC copy
+    window_origin: tuple[int, int] = (0, 0)
+    fb_address: int = 0
+
+    pixels_filled: int = 0
+    pixels_copied: int = 0
+    bytes_touched: int = 0
+    primitives: int = 0
+    fifo_overflows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.framebuffer is None:
+            self.framebuffer = np.zeros((self.height, self.width),
+                                        dtype=np.uint32)
+
+    # ------------------------------------------------------------------
+    # Bus interface
+    # ------------------------------------------------------------------
+
+    def io_read(self, offset: int, width: int) -> int:
+        if width != 32:
+            raise BusError(f"Permedia2 registers are 32-bit, got {width}")
+        if offset == 0:
+            # Polling the FIFO models elapsed time: the engine drains.
+            self.fifo_used = max(0, self.fifo_used - self.drain_per_poll)
+            return FIFO_DEPTH - self.fifo_used
+        if offset == 6:
+            return 1 if self.fifo_used > 0 else 0
+        raise BusError(f"Permedia2 offset {offset} is not readable")
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if width != 32:
+            raise BusError(f"Permedia2 registers are 32-bit, got {width}")
+        if not 1 <= offset <= 13:
+            raise BusError(f"Permedia2 offset {offset} is not writable")
+        self._push_fifo()
+        if offset == 1:
+            self.block_color = value
+        elif offset == 2:
+            self.rect_x = value & 0xFFFF
+            self.rect_y = (value >> 16) & 0xFFFF
+        elif offset == 3:
+            self.rect_width = value & 0xFFFF
+            self.rect_height = (value >> 16) & 0xFFFF
+        elif offset == 4:
+            self.copy_dx = _signed16(value & 0xFFFF)
+            self.copy_dy = _signed16((value >> 16) & 0xFFFF)
+        elif offset == 5:
+            self._render(value & 0b11)
+        elif offset == 7:
+            self.depth_code = value & 0b11
+        elif offset == 8:
+            self.scissor_min = (value & 0xFFFF, (value >> 16) & 0xFFFF)
+        elif offset == 9:
+            self.scissor_max = (value & 0xFFFF, (value >> 16) & 0xFFFF)
+        elif offset == 10:
+            self.write_mask = value
+        elif offset == 11:
+            self.logical_op = value & 0xF
+        elif offset == 12:
+            self.window_origin = (value & 0xFFFF, (value >> 16) & 0xFFFF)
+        elif offset == 13:
+            self.fb_address = value
+
+    def _push_fifo(self) -> None:
+        if self.fifo_used >= FIFO_DEPTH:
+            # Real hardware stalls the bus; a driver that lands here
+            # did not honour the fifo_space protocol.
+            self.fifo_overflows += 1
+            self.fifo_used = FIFO_DEPTH
+            return
+        self.fifo_used += 1
+
+    # ------------------------------------------------------------------
+    # Framebuffer aperture
+    # ------------------------------------------------------------------
+
+    def aperture_read(self, width: int) -> int:
+        if width != 32:
+            raise BusError("the framebuffer aperture is 32-bit")
+        index = self.fb_address
+        y, x = divmod(index, self.width)
+        if not 0 <= y < self.height:
+            raise BusError(f"aperture address {index} outside framebuffer")
+        self.fb_address += 1
+        return int(self.framebuffer[y, x])
+
+    def aperture_write(self, value: int, width: int) -> None:
+        if width != 32:
+            raise BusError("the framebuffer aperture is 32-bit")
+        index = self.fb_address
+        y, x = divmod(index, self.width)
+        if not 0 <= y < self.height:
+            raise BusError(f"aperture address {index} outside framebuffer")
+        self.framebuffer[y, x] = value
+        self.fb_address += 1
+
+    # ------------------------------------------------------------------
+    # Rendering engine
+    # ------------------------------------------------------------------
+
+    def _clip(self) -> tuple[int, int, int, int]:
+        """Rectangle clipped to framebuffer and scissor: (x0, y0, x1, y1)."""
+        x0 = self.rect_x + self.window_origin[0]
+        y0 = self.rect_y + self.window_origin[1]
+        x1 = x0 + self.rect_width
+        y1 = y0 + self.rect_height
+        x0 = max(x0, self.scissor_min[0], 0)
+        y0 = max(y0, self.scissor_min[1], 0)
+        x1 = min(x1, self.scissor_max[0], self.width)
+        y1 = min(y1, self.scissor_max[1], self.height)
+        if x1 <= x0 or y1 <= y0:
+            return (0, 0, 0, 0)
+        return (x0, y0, x1, y1)
+
+    def _render(self, command: int) -> None:
+        if command == _SYNC:
+            self.fifo_used = 0
+            return
+        x0, y0, x1, y1 = self._clip()
+        pixels = (x1 - x0) * (y1 - y0)
+        self.primitives += 1
+        self.bytes_touched += pixels * DEPTH_BYTES[self.depth_code]
+        if command == _FILL:
+            self.framebuffer[y0:y1, x0:x1] = self.block_color
+            self.pixels_filled += pixels
+        elif command == _COPY:
+            self._copy(x0, y0, x1, y1)
+            self.pixels_copied += pixels
+        else:
+            raise BusError(f"unknown render command {command:#04b}")
+
+    def _copy(self, x0: int, y0: int, x1: int, y1: int) -> None:
+        sx0, sy0 = x0 + self.copy_dx, y0 + self.copy_dy
+        sx1, sy1 = x1 + self.copy_dx, y1 + self.copy_dy
+        if not (0 <= sx0 and sx1 <= self.width and
+                0 <= sy0 and sy1 <= self.height):
+            raise BusError("copy source rectangle outside framebuffer")
+        self.framebuffer[y0:y1, x0:x1] = \
+            self.framebuffer[sy0:sy1, sx0:sx1].copy()
+
+
+class Permedia2Aperture:
+    """Bus adapter for the auto-incrementing framebuffer window."""
+
+    def __init__(self, gpu: Permedia2Model):
+        self.gpu = gpu
+
+    def io_read(self, offset: int, width: int) -> int:
+        if offset != 0:
+            raise BusError("the aperture decodes a single address")
+        return self.gpu.aperture_read(width)
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if offset != 0:
+            raise BusError("the aperture decodes a single address")
+        self.gpu.aperture_write(value, width)
+
+
+def _signed16(value: int) -> int:
+    return value - 0x10000 if value >= 0x8000 else value

@@ -1,0 +1,209 @@
+"""Behavioural model of the Intel 8259A programmable interrupt controller.
+
+The 8259A is the paper's showcase for control-flow based serialization:
+three of its four initialization command words (ICW2..ICW4) are mapped
+to a single port, and the device decodes them purely from the *order*
+in which they arrive after ICW1.  This model implements that automaton
+faithfully:
+
+* a write to port 0 with bit 4 set starts an initialization sequence
+  (ICW1) and arms the expectation of ICW2, then ICW3 (unless ICW1
+  declared single mode), then ICW4 (only if ICW1's IC4 bit was set);
+* while the sequence is open, writes to port 1 are consumed by it;
+  afterwards port 1 is the interrupt mask register (OCW1);
+* writes to port 0 with bit 4 clear are OCW2 (bit 3 clear — EOI
+  commands) or OCW3 (bit 3 set — IRR/ISR read selection, polling);
+* reads of port 0 deliver IRR or ISR as selected by the last OCW3.
+
+The harness side offers :meth:`raise_irq` and :meth:`acknowledge` so
+driver tests can exercise a complete interrupt life cycle: raise →
+acknowledge (vector computed from ICW2) → in-service → EOI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bus import BusError
+
+REGION_SIZE = 2
+
+# States of the initialization automaton.
+_READY = "ready"
+_EXPECT_ICW2 = "expect-icw2"
+_EXPECT_ICW3 = "expect-icw3"
+_EXPECT_ICW4 = "expect-icw4"
+
+
+@dataclass
+class Pic8259Model:
+    """Simulated 8259A (master configuration)."""
+
+    state: str = _READY
+    single: bool = False
+    needs_icw4: bool = False
+    level_triggered: bool = False
+    vector_base: int = 0
+    slave_mask: int = 0
+    icw4: int = 0
+
+    irr: int = 0          # interrupt request register
+    isr: int = 0          # in-service register
+    imr: int = 0xFF       # interrupt mask register (all masked at reset)
+    read_isr_selected: bool = False
+    special_mask_mode: bool = False
+    poll_mode: bool = False
+
+    #: History of completed init sequences, for test assertions.
+    init_log: list[tuple[int, ...]] = field(default_factory=list)
+    _current_init: list[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Bus interface
+    # ------------------------------------------------------------------
+
+    def io_read(self, offset: int, width: int) -> int:
+        if width != 8:
+            raise BusError(f"8259A only decodes 8-bit accesses, got {width}")
+        if offset == 0:
+            if self.poll_mode:
+                self.poll_mode = False
+                return self._poll_byte()
+            return self.isr if self.read_isr_selected else self.irr
+        if offset == 1:
+            return self.imr
+        raise BusError(f"8259A has no offset {offset}")
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if width != 8:
+            raise BusError(f"8259A only decodes 8-bit accesses, got {width}")
+        if offset == 0:
+            if value & 0x10:
+                self._start_init(value)
+            elif value & 0x08:
+                self._ocw3(value)
+            else:
+                self._ocw2(value)
+        elif offset == 1:
+            self._write_port1(value)
+        else:
+            raise BusError(f"8259A has no offset {offset}")
+
+    # ------------------------------------------------------------------
+    # Initialization automaton
+    # ------------------------------------------------------------------
+
+    def _start_init(self, icw1: int) -> None:
+        self.single = bool(icw1 & 0b10)
+        self.needs_icw4 = bool(icw1 & 0b1)
+        self.level_triggered = bool(icw1 & 0b1000)
+        self.state = _EXPECT_ICW2
+        self._current_init = [icw1]
+        # ICW1 resets IMR and edge-detect circuitry on the real part.
+        self.imr = 0
+        self.irr = 0
+        self.isr = 0
+
+    def _write_port1(self, value: int) -> None:
+        if self.state == _EXPECT_ICW2:
+            self.vector_base = value & 0xF8
+            self._current_init.append(value)
+            if not self.single:
+                self.state = _EXPECT_ICW3
+            elif self.needs_icw4:
+                self.state = _EXPECT_ICW4
+            else:
+                self._finish_init()
+        elif self.state == _EXPECT_ICW3:
+            self.slave_mask = value
+            self._current_init.append(value)
+            if self.needs_icw4:
+                self.state = _EXPECT_ICW4
+            else:
+                self._finish_init()
+        elif self.state == _EXPECT_ICW4:
+            self.icw4 = value
+            self._current_init.append(value)
+            self._finish_init()
+        else:
+            self.imr = value  # OCW1
+
+    def _finish_init(self) -> None:
+        self.state = _READY
+        self.init_log.append(tuple(self._current_init))
+        self._current_init = []
+
+    # ------------------------------------------------------------------
+    # Operational command words
+    # ------------------------------------------------------------------
+
+    def _ocw2(self, value: int) -> None:
+        kind = (value >> 5) & 0b111
+        level = value & 0b111
+        if kind == 0b001:  # non-specific EOI
+            self._clear_highest_isr()
+        elif kind == 0b011:  # specific EOI
+            self.isr &= ~(1 << level)
+        elif kind == 0b101:  # rotate on non-specific EOI
+            self._clear_highest_isr()
+        elif kind == 0b111:  # rotate on specific EOI
+            self.isr &= ~(1 << level)
+        elif kind == 0b010:  # no-op
+            pass
+        else:
+            raise BusError(f"unsupported OCW2 command {kind:#05b}")
+
+    def _ocw3(self, value: int) -> None:
+        if value & 0b10:
+            self.read_isr_selected = bool(value & 0b1)
+        self.poll_mode = bool(value & 0b100)
+        smm = (value >> 5) & 0b11
+        if smm == 0b11:
+            self.special_mask_mode = True
+        elif smm == 0b10:
+            self.special_mask_mode = False
+
+    def _clear_highest_isr(self) -> None:
+        for level in range(8):
+            if self.isr & (1 << level):
+                self.isr &= ~(1 << level)
+                return
+
+    def _poll_byte(self) -> int:
+        pending = self.irr & ~self.imr
+        for level in range(8):
+            if pending & (1 << level):
+                return 0x80 | level
+        return 0
+
+    # ------------------------------------------------------------------
+    # Harness-side API
+    # ------------------------------------------------------------------
+
+    def raise_irq(self, line: int) -> None:
+        """Assert interrupt request line ``line`` (0..7)."""
+        if not 0 <= line <= 7:
+            raise ValueError(f"IRQ line {line} out of range")
+        self.irr |= 1 << line
+
+    def lower_irq(self, line: int) -> None:
+        """Deassert a level-triggered request line."""
+        self.irr &= ~(1 << line)
+
+    def has_pending(self) -> bool:
+        return bool(self.irr & ~self.imr)
+
+    def acknowledge(self) -> int | None:
+        """CPU INTA cycle: returns the vector, or None if nothing pends.
+
+        The highest-priority unmasked request moves from IRR to ISR and
+        the vector is ``vector_base + line`` (8086 mode).
+        """
+        pending = self.irr & ~self.imr
+        for line in range(8):
+            if pending & (1 << line):
+                self.irr &= ~(1 << line)
+                if not (self.icw4 & 0b10):  # not AEOI
+                    self.isr |= 1 << line
+                return self.vector_base + line
+        return None

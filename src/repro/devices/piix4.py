@@ -1,0 +1,150 @@
+"""Behavioural model of the Intel PIIX4 busmaster IDE function.
+
+The PIIX4 executes posted ``READ_DMA``/``WRITE_DMA`` commands on behalf
+of the disk: the driver builds a Physical Region Descriptor (PRD) table
+in system memory, points the descriptor-table-pointer register at it,
+and sets the start bit.  The busmaster walks the table, moves the data
+between memory and the disk, raises the interrupt bit in its status
+register, and the disk asserts INTRQ.
+
+Register layout (offsets within the busmaster I/O window):
+
+======  =====  ==========================================
+offset  width  register
+======  =====  ==========================================
+0       8      command: bit 0 start/stop, bit 3 direction
+                (1 = device-to-memory, i.e. a disk read)
+2       8      status: bit 0 active, bit 1 error (RW1C),
+                bit 2 interrupt (RW1C), bits 5/6 drive
+                DMA-capable
+4       32     descriptor table pointer (PRD table)
+======  =====  ==========================================
+
+Each PRD entry is 8 bytes little-endian: 32-bit memory address, 16-bit
+byte count (0 means 64 KiB), 16-bit flags with bit 15 marking the last
+entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bus import BusError
+from .ide import IdeDiskModel
+
+REGION_SIZE = 8
+
+_START = 0b0001
+_DIRECTION_TO_MEMORY = 0b1000
+
+_STATUS_ACTIVE = 0b001
+_STATUS_ERROR = 0b010
+_STATUS_IRQ = 0b100
+
+
+@dataclass
+class Piix4Model:
+    """Simulated PIIX4 busmaster, bound to one disk and system memory."""
+
+    disk: IdeDiskModel
+    memory: bytearray
+
+    command: int = 0
+    status: int = 0b0110_0000  # both drives DMA-capable
+    prd_pointer: int = 0
+
+    #: Total bytes moved by DMA (the timing model charges these at
+    #: UDMA bandwidth rather than per-I/O-operation cost).
+    bytes_transferred: int = 0
+    transfers_completed: int = 0
+
+    # ------------------------------------------------------------------
+    # Bus interface
+    # ------------------------------------------------------------------
+
+    def io_read(self, offset: int, width: int) -> int:
+        if offset == 0 and width == 8:
+            return self.command
+        if offset == 2 and width == 8:
+            return self.status
+        if offset == 4 and width == 32:
+            return self.prd_pointer
+        raise BusError(f"PIIX4 has no {width}-bit register at offset "
+                       f"{offset}")
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        if offset == 0 and width == 8:
+            was_started = self.command & _START
+            self.command = value
+            if value & _START and not was_started:
+                self._run_transfer()
+            return
+        if offset == 2 and width == 8:
+            # Error and interrupt bits are write-1-to-clear; the
+            # capable bits are plain read-write.
+            self.status &= ~(value & (_STATUS_ERROR | _STATUS_IRQ))
+            self.status = (self.status & ~0b0110_0000) | \
+                (value & 0b0110_0000)
+            return
+        if offset == 4 and width == 32:
+            self.prd_pointer = value
+            return
+        raise BusError(f"PIIX4 has no {width}-bit register at offset "
+                       f"{offset}")
+
+    # ------------------------------------------------------------------
+    # DMA engine
+    # ------------------------------------------------------------------
+
+    def _read_prd_entries(self) -> list[tuple[int, int]]:
+        entries: list[tuple[int, int]] = []
+        position = self.prd_pointer
+        while True:
+            if position + 8 > len(self.memory):
+                raise BusError(
+                    f"PRD table at {position:#010x} runs past the end of "
+                    f"memory")
+            address = int.from_bytes(self.memory[position:position + 4],
+                                     "little")
+            count = int.from_bytes(self.memory[position + 4:position + 6],
+                                   "little")
+            flags = int.from_bytes(self.memory[position + 6:position + 8],
+                                   "little")
+            entries.append((address, count if count else 0x10000))
+            position += 8
+            if flags & 0x8000:
+                return entries
+            if len(entries) > 8192:
+                raise BusError("unterminated PRD table")
+
+    def _run_transfer(self) -> None:
+        if self.disk.dma_request is None:
+            # Starting the engine with nothing posted is a driver bug.
+            self.status |= _STATUS_ERROR
+            self.command &= ~_START
+            return
+        self.status |= _STATUS_ACTIVE
+        to_memory = bool(self.command & _DIRECTION_TO_MEMORY)
+        direction = self.disk.dma_request.direction
+        if to_memory != (direction == "read"):
+            self.status |= _STATUS_ERROR
+            self.status &= ~_STATUS_ACTIVE
+            self.command &= ~_START
+            return
+        for address, count in self._read_prd_entries():
+            if address + count > len(self.memory):
+                raise BusError(
+                    f"PRD entry [{address:#010x}, +{count}) outside memory")
+            if to_memory:
+                data = self.disk.dma_read(count)
+                self.memory[address:address + len(data)] = data
+            else:
+                self.disk.dma_write(bytes(self.memory[address:
+                                                      address + count]))
+            self.bytes_transferred += count
+            if self.disk.dma_request is None:
+                break  # the posted request is fully served
+        self.status &= ~_STATUS_ACTIVE
+        self.status |= _STATUS_IRQ
+        self.command &= ~_START
+        self.transfers_completed += 1

@@ -1,0 +1,446 @@
+"""Abstract syntax tree of the Devil language.
+
+The nodes mirror the concrete syntax of the paper's figures: a device
+declaration parameterized by ranged ports, containing register,
+variable, structure and type declarations, with masks, pre/post/set
+actions, behaviour qualifiers, serialization clauses, register
+concatenation and indexed register constructors.
+
+All nodes are plain frozen-ish dataclasses with source locations; name
+resolution and semantic validation live in :mod:`repro.devil.checker`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import SourceLocation, UNKNOWN_LOCATION
+from .types import EnumDirection
+
+# ---------------------------------------------------------------------------
+# Type expressions (syntactic; resolved to repro.devil.types values later)
+# ---------------------------------------------------------------------------
+
+
+class TypeExpr:
+    """Base class of syntactic type expressions."""
+
+    location: SourceLocation
+
+
+@dataclass
+class BoolTypeExpr(TypeExpr):
+    """``bool``"""
+
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class IntTypeExpr(TypeExpr):
+    """``int(8)`` or ``signed int(8)``"""
+
+    width: int
+    signed: bool = False
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class IntSetTypeExpr(TypeExpr):
+    """``int{0..31}`` or ``int{0..17,25}`` — inclusive ranges."""
+
+    ranges: list[tuple[int, int]]
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    def values(self) -> frozenset[int]:
+        members: set[int] = set()
+        for low, high in self.ranges:
+            members.update(range(low, high + 1))
+        return frozenset(members)
+
+
+@dataclass
+class EnumItemExpr:
+    """``NAME => '1'`` with one of the three arrows."""
+
+    name: str
+    pattern: str
+    direction: EnumDirection
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class EnumTypeExpr(TypeExpr):
+    """``{ A => '1', B => '0' }``"""
+
+    items: list[EnumItemExpr]
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class NamedTypeExpr(TypeExpr):
+    """A reference to a ``type`` declaration."""
+
+    name: str
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+# ---------------------------------------------------------------------------
+# Ports, bit ranges, chunks
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PortParam:
+    """One device parameter: ``base : bit[8] port @ {0..3}``."""
+
+    name: str
+    data_width: int
+    offsets: list[tuple[int, int]]  # inclusive ranges
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    def offset_values(self) -> frozenset[int]:
+        members: set[int] = set()
+        for low, high in self.offsets:
+            members.update(range(low, high + 1))
+        return frozenset(members)
+
+
+@dataclass
+class PortExpr:
+    """``base @ 1``, ``base @ i`` or ``base @ 1 + i``.
+
+    ``offset`` is the constant part; ``offset_param`` names a register
+    constructor parameter added to it (the paper's register-array
+    feature: ``register par(i : int{0..5}) = base @ 1 + i ...``).
+    The offset defaults to 0 when ``@`` is absent.
+    """
+
+    base: str
+    offset: int = 0
+    offset_param: str | None = None
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    def key(self) -> tuple[str, int]:
+        return (self.base, self.offset)
+
+    def __str__(self) -> str:
+        if self.offset_param is not None:
+            if self.offset:
+                return f"{self.base}@{self.offset}+{self.offset_param}"
+            return f"{self.base}@{self.offset_param}"
+        return f"{self.base}@{self.offset}"
+
+
+@dataclass
+class BitRange:
+    """``msb..lsb`` (or a single bit, where msb == lsb); inclusive."""
+
+    msb: int
+    lsb: int
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    @property
+    def width(self) -> int:
+        return self.msb - self.lsb + 1
+
+    def __str__(self) -> str:
+        if self.msb == self.lsb:
+            return str(self.msb)
+        return f"{self.msb}..{self.lsb}"
+
+
+@dataclass
+class Chunk:
+    """One register fragment of a variable definition.
+
+    ``x_high[3..0]`` → register ``x_high``, ranges ``[3..0]``.  A bare
+    register name (``sig_reg``) means the whole register.  A comma list
+    (``I23[2,7..4]``) concatenates several ranges of one register,
+    listed most-significant first.
+    """
+
+    register: str
+    ranges: list[BitRange] | None = None
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    def __str__(self) -> str:
+        if self.ranges is None:
+            return self.register
+        inner = ",".join(str(r) for r in self.ranges)
+        return f"{self.register}[{inner}]"
+
+
+# ---------------------------------------------------------------------------
+# Actions (pre / post / set blocks)
+# ---------------------------------------------------------------------------
+
+
+class ActionValue:
+    """Base class of right-hand sides in action blocks."""
+
+    location: SourceLocation
+
+
+@dataclass
+class IntValue(ActionValue):
+    """A literal integer, e.g. ``{index = 0}``."""
+
+    value: int
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class BoolValue(ActionValue):
+    """``true`` or ``false``."""
+
+    value: bool
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class SymbolValue(ActionValue):
+    """A name: an enum symbol, a register parameter, or a variable.
+
+    ``{IA = i}`` references the register constructor's parameter ``i``;
+    ``{xm = XRAE}`` references the value just written to variable XRAE.
+    Resolution happens in the checker.
+    """
+
+    name: str
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class WildcardValue(ActionValue):
+    """``*`` — any value is acceptable (``{flip_flop = *}``)."""
+
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class StructValue(ActionValue):
+    """``{XA => j; XRAE => true}`` — a structure write in an action."""
+
+    fields: list[tuple[str, ActionValue]]
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class Action:
+    """One assignment of an action block: ``target = value``."""
+
+    target: str
+    value: ActionValue
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+# ---------------------------------------------------------------------------
+# Behaviours
+# ---------------------------------------------------------------------------
+
+
+class AccessDirection(enum.Enum):
+    """Which accesses a qualifier applies to."""
+
+    READ = "read"
+    WRITE = "write"
+    BOTH = "both"
+
+
+@dataclass
+class TriggerSpec:
+    """``[read|write] trigger [except SYMBOL | for VALUE]``.
+
+    A trigger access has an unrepeatable side effect on the device.
+    ``except_symbol`` names a neutral value that does *not* trigger;
+    ``for_value`` restricts the side effect to one specific value.
+    """
+
+    direction: AccessDirection = AccessDirection.BOTH
+    except_symbol: str | None = None
+    for_value: ActionValue | None = None
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class Behaviors:
+    """The behaviour qualifiers attached to one variable."""
+
+    volatile: bool = False
+    block: bool = False
+    trigger: TriggerSpec | None = None
+
+    @property
+    def write_triggers(self) -> bool:
+        return self.trigger is not None and self.trigger.direction in (
+            AccessDirection.WRITE, AccessDirection.BOTH)
+
+    @property
+    def read_triggers(self) -> bool:
+        return self.trigger is not None and self.trigger.direction in (
+            AccessDirection.READ, AccessDirection.BOTH)
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+class SerStmt:
+    """Base class of serialization statements."""
+
+    location: SourceLocation
+
+
+@dataclass
+class SerWrite(SerStmt):
+    """Emit one register, e.g. the ``icw1;`` step."""
+
+    register: str
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class SerIf(SerStmt):
+    """``if (sngl == SINGLE) icw3;`` — conditional emission."""
+
+    variable: str
+    value: ActionValue
+    body: SerStmt = None  # type: ignore[assignment]
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IndexParam:
+    """Parameter of a register constructor: ``i : int{0..31}``."""
+
+    name: str
+    type_expr: TypeExpr
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class RegisterInstantiation:
+    """``I(23)`` — instantiating a register constructor."""
+
+    constructor: str
+    arguments: list[int]
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class RegisterDecl:
+    """A ``register`` declaration.
+
+    Exactly one of (``read_port``/``write_port`` ports) or ``base`` (an
+    instantiation of a register constructor) is set.  ``params`` makes
+    this a register *constructor* that must be instantiated before use.
+    """
+
+    name: str
+    params: list[IndexParam] = field(default_factory=list)
+    read_port: PortExpr | None = None
+    write_port: PortExpr | None = None
+    base: RegisterInstantiation | None = None
+    mask_pattern: str | None = None
+    pre_actions: list[Action] = field(default_factory=list)
+    post_actions: list[Action] = field(default_factory=list)
+    set_actions: list[Action] = field(default_factory=list)
+    width: int | None = None
+    #: Operating mode this register is valid in (``in setup``), or None.
+    mode: str | None = None
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    @property
+    def is_constructor(self) -> bool:
+        return bool(self.params)
+
+
+@dataclass
+class VariableDecl:
+    """A ``variable`` declaration (top level or structure member).
+
+    ``chunks is None`` marks a pure memory variable (``private variable
+    xm : bool;``), which is not mapped to any register and serves as a
+    private state cell for the addressing automaton (§2.2).
+    """
+
+    name: str
+    private: bool = False
+    chunks: list[Chunk] | None = None
+    behaviors: Behaviors = field(default_factory=Behaviors)
+    type_expr: TypeExpr | None = None
+    set_actions: list[Action] = field(default_factory=list)
+    serialization: list[SerStmt] | None = None
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class StructureDecl:
+    """A ``structure`` grouping variables for consistent access."""
+
+    name: str
+    members: list[VariableDecl] = field(default_factory=list)
+    serialization: list[SerStmt] | None = None
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class ModeDecl:
+    """``mode setup, operational;`` — device operating modes (§2.2's
+    conditional declarations).  The first mode is the reset state."""
+
+    names: list[str] = field(default_factory=list)
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+@dataclass
+class TypeDecl:
+    """``type name = <type expression>;`` — a named (usually enum) type."""
+
+    name: str
+    type_expr: TypeExpr = None  # type: ignore[assignment]
+    location: SourceLocation = UNKNOWN_LOCATION
+
+
+Declaration = (RegisterDecl | VariableDecl | StructureDecl | TypeDecl
+               | ModeDecl)
+
+
+@dataclass
+class DeviceDecl:
+    """The entry point: a ``device`` with port parameters and a body."""
+
+    name: str
+    params: list[PortParam] = field(default_factory=list)
+    declarations: list[Declaration] = field(default_factory=list)
+    location: SourceLocation = UNKNOWN_LOCATION
+
+    def registers(self) -> list[RegisterDecl]:
+        return [d for d in self.declarations if isinstance(d, RegisterDecl)]
+
+    def variables(self) -> list[VariableDecl]:
+        """Top-level variables only (structure members excluded)."""
+        return [d for d in self.declarations if isinstance(d, VariableDecl)]
+
+    def structures(self) -> list[StructureDecl]:
+        return [d for d in self.declarations if isinstance(d, StructureDecl)]
+
+    def type_decls(self) -> list[TypeDecl]:
+        return [d for d in self.declarations if isinstance(d, TypeDecl)]
+
+    def mode_decls(self) -> list[ModeDecl]:
+        return [d for d in self.declarations if isinstance(d, ModeDecl)]
+
+    def all_variables(self) -> list[VariableDecl]:
+        """Every variable, including structure members."""
+        result = list(self.variables())
+        for structure in self.structures():
+            result.extend(structure.members)
+        return result

@@ -1,0 +1,130 @@
+"""``devilc`` — the Devil compiler command-line front end.
+
+Usage::
+
+    devilc check  SPEC.devil             verify only, report diagnostics
+    devilc c      SPEC.devil [-o OUT]    emit the C stub header
+    devilc python SPEC.devil [-o OUT]    emit the Python stub module
+    devilc dump   SPEC.devil             print the resolved model
+
+Exit status is 0 on success, 1 when the specification is rejected —
+suitable for driver build systems, which is how the paper envisioned
+the compiler being used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compiler import compile_file
+from .errors import DevilError
+from .model import ResolvedDevice
+
+
+def _dump_model(model: ResolvedDevice) -> str:
+    lines = [f"device {model.name}"]
+    for name, param in model.params.items():
+        offsets = sorted(param.offset_values())
+        lines.append(f"  port {name}: bit[{param.data_width}] @ {offsets}")
+    for name, register in model.registers.items():
+        direction = "".join((
+            "r" if register.readable else "-",
+            "w" if register.writable else "-"))
+        origin = f" (from {register.constructor}"\
+            f"{register.constructor_args})" if register.constructor else ""
+        lines.append(f"  register {name}: {register.width} bits, "
+                     f"{direction}, mask {register.mask}{origin}")
+    for name, variable in model.variables.items():
+        flags = []
+        if variable.private:
+            flags.append("private")
+        if variable.memory:
+            flags.append("memory")
+        if variable.behaviors.volatile:
+            flags.append("volatile")
+        if variable.behaviors.trigger is not None:
+            flags.append("trigger")
+        if variable.behaviors.block:
+            flags.append("block")
+        chunks = " # ".join(
+            f"{c.register}[{c.msb}..{c.lsb}]" for c in variable.chunks)
+        suffix = f" = {chunks}" if chunks else ""
+        flag_text = f" ({', '.join(flags)})" if flags else ""
+        lines.append(f"  variable {name}: {variable.type}{flag_text}"
+                     f"{suffix}")
+    for name, structure in model.structures.items():
+        lines.append(f"  structure {name}: {', '.join(structure.members)}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="devilc",
+        description="Devil IDL compiler (OSDI 2000 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+            ("check", "verify a specification"),
+            ("c", "emit the C stub header"),
+            ("python", "emit the Python stub module"),
+            ("doc", "emit a Markdown datasheet"),
+            ("dump", "print the resolved model")):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("spec", help="path to the .devil source")
+        if name in ("c", "python", "doc"):
+            sub.add_argument("-o", "--output",
+                             help="output file (default: stdout)")
+        if name == "c":
+            sub.add_argument("--prefix",
+                             help="stub name prefix (default: device "
+                                  "name)")
+            sub.add_argument("--debug", action="store_true",
+                             help="force DEVIL_DEBUG on")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _run(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        return 0  # e.g. `devilc dump spec | head`
+
+
+def _run(arguments) -> int:
+    try:
+        spec = compile_file(arguments.spec)
+    except DevilError as error:
+        print(error, file=sys.stderr)
+        return 1
+    for warning in spec.warnings:
+        print(warning, file=sys.stderr)
+
+    if arguments.command == "check":
+        print(f"{arguments.spec}: specification "
+              f"{spec.name!r} is consistent "
+              f"({len(spec.model.registers)} registers, "
+              f"{len(spec.model.variables)} variables, "
+              f"{len(spec.warnings)} warning(s))")
+        return 0
+    if arguments.command == "dump":
+        print(_dump_model(spec.model))
+        return 0
+
+    if arguments.command == "c":
+        text = spec.emit_c(prefix=arguments.prefix,
+                           debug=arguments.debug)
+    elif arguments.command == "doc":
+        text = spec.emit_doc()
+    else:
+        text = spec.emit_python()
+    if getattr(arguments, "output", None):
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

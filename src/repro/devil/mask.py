@@ -1,0 +1,229 @@
+"""Bit-mask algebra for Devil register masks.
+
+A register declaration may carry a mask such as ``'1..00000'`` that
+classifies every bit of the register.  The paper's figures use four
+classes of bit (written MSB first):
+
+``.``
+    a *variable* bit: defined by (exactly one) device variable, read and
+    written through that variable.
+``*`` and ``-``
+    an *irrelevant* bit: never carries information.  ``*`` bits read as
+    undefined garbage; neither may be used by a variable.
+``0`` / ``1``
+    a *forced* bit: irrelevant when read, but forced to the given value
+    whenever the register is written.
+
+(The paper's prose description of §2.1 swaps the roles of ``*`` and
+``.``, but every mask in its figures — ``'1..00000'`` for the busmouse
+index register whose relevant bits 6..5 are ``.``, ``'****....'`` for
+the nibble counters whose used bits 3..0 are ``.``, ``'......0.'`` for
+the CS4236B I23 register — follows the convention above, so we implement
+the figures' convention.)
+
+Masks are value objects; the checker uses them for the "no overlapping
+definitions" rule and the code generators use them to compute the AND/OR
+constants of the emitted stubs, exactly like Figure 3c of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import DevilCheckError, SourceLocation, UNKNOWN_LOCATION
+
+
+class BitKind(enum.Enum):
+    """Classification of a single register bit."""
+
+    VARIABLE = "."
+    IRRELEVANT = "*"
+    RESERVED = "-"
+    FORCE0 = "0"
+    FORCE1 = "1"
+
+
+_CHAR_TO_KIND = {kind.value: kind for kind in BitKind}
+
+
+@dataclass(frozen=True)
+class Mask:
+    """An immutable per-bit classification of a register of ``width`` bits.
+
+    ``kinds[i]`` classifies bit ``i`` with bit 0 the least significant,
+    i.e. the *last* character of the source pattern.
+    """
+
+    width: int
+    kinds: tuple[BitKind, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.kinds) != self.width:
+            raise ValueError(
+                f"mask has {len(self.kinds)} bit kinds for width {self.width}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, pattern: str, width: int | None = None,
+              location: SourceLocation = UNKNOWN_LOCATION) -> "Mask":
+        """Parse an MSB-first pattern string such as ``'1..00000'``.
+
+        If ``width`` is given the pattern length must match it; this is
+        one of the "size of bit masks" strong-typing checks of §3.1.
+        """
+        if width is not None and len(pattern) != width:
+            raise DevilCheckError(
+                f"mask '{pattern}' has {len(pattern)} bits but the register "
+                f"is {width} bits wide", location)
+        kinds = []
+        for char in reversed(pattern):  # reversed: LSB-first internally
+            kind = _CHAR_TO_KIND.get(char)
+            if kind is None:
+                raise DevilCheckError(
+                    f"invalid mask character {char!r}", location)
+            kinds.append(kind)
+        return cls(len(pattern), tuple(kinds))
+
+    @classmethod
+    def all_variable(cls, width: int) -> "Mask":
+        """The implicit mask of a register declared without one."""
+        return cls(width, (BitKind.VARIABLE,) * width)
+
+    # ------------------------------------------------------------------
+    # Bit-set views (integers with one bit per register bit)
+    # ------------------------------------------------------------------
+
+    def _bits_of(self, *kinds: BitKind) -> int:
+        bits = 0
+        for i, kind in enumerate(self.kinds):
+            if kind in kinds:
+                bits |= 1 << i
+        return bits
+
+    @property
+    def variable_bits(self) -> int:
+        """Bits that must be covered by device variables."""
+        return self._bits_of(BitKind.VARIABLE)
+
+    @property
+    def irrelevant_bits(self) -> int:
+        """Bits carrying no information (``*`` or ``-``)."""
+        return self._bits_of(BitKind.IRRELEVANT, BitKind.RESERVED)
+
+    @property
+    def forced_bits(self) -> int:
+        """Bits whose written value is fixed by the mask."""
+        return self._bits_of(BitKind.FORCE0, BitKind.FORCE1)
+
+    @property
+    def forced_value(self) -> int:
+        """The value OR-ed into every write (``1`` bits of the mask)."""
+        return self._bits_of(BitKind.FORCE1)
+
+    @property
+    def writable_variable_bits(self) -> int:
+        """Alias of :attr:`variable_bits`; kept for codegen readability."""
+        return self.variable_bits
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def disjoint_with(self, other: "Mask") -> bool:
+        """True if the two masks' variable bits do not intersect.
+
+        Two registers mapped to the same port are acceptable (rule "no
+        overlapping definitions") when their masks are disjoint in this
+        sense: they expose different bits of the same physical location.
+        """
+        if self.width != other.width:
+            return True
+        return (self.variable_bits & other.variable_bits) == 0
+
+    def write_discriminated_from(self, other: "Mask") -> bool:
+        """True if some bit is forced to 0 by one mask and 1 by the other.
+
+        Any value written through one register then provably differs at
+        that bit from any value written through the other, so the device
+        can discriminate the two write views of a shared port.  This is
+        how the 8259A distinguishes ICW1 (bit 4 forced to 1) from OCW2
+        (bit 4 forced to 0) on the same port.
+        """
+        if self.width != other.width:
+            return False
+        conflict = (self.forced_value & other.forced_bits
+                    & ~other.forced_value)
+        conflict |= (other.forced_value & self.forced_bits
+                     & ~self.forced_value)
+        return conflict != 0
+
+    def refine(self, extra: "Mask",
+               location: SourceLocation = UNKNOWN_LOCATION) -> "Mask":
+        """Combine this mask with a narrowing one.
+
+        Used by register instantiation (``register I23 = I(23), mask
+        '......0.'``): the instance mask may turn variable bits of the
+        constructor's mask into forced or irrelevant bits, but may not
+        resurrect bits the constructor already fixed.
+        """
+        if extra.width != self.width:
+            raise DevilCheckError(
+                f"refining mask is {extra.width} bits wide, register is "
+                f"{self.width}", location)
+        kinds = []
+        for i, (base, new) in enumerate(zip(self.kinds, extra.kinds)):
+            if base is BitKind.VARIABLE:
+                kinds.append(new)
+            elif new is BitKind.VARIABLE or new == base:
+                kinds.append(base)
+            else:
+                raise DevilCheckError(
+                    f"bit {i}: mask refinement changes already-constrained "
+                    f"bit ({base.value!r} -> {new.value!r})", location)
+        return Mask(self.width, tuple(kinds))
+
+    def apply_write(self, raw: int) -> int:
+        """Transform a raw value into what is actually put on the bus.
+
+        Variable bits pass through; forced bits take their fixed value;
+        irrelevant bits are cleared.  This is the masking "performed as
+        part of the stubs generated by the Devil compiler" (§2.1).
+        """
+        return (raw & self.variable_bits) | self.forced_value
+
+    def pattern(self) -> str:
+        """Render back to MSB-first source syntax."""
+        return "".join(kind.value for kind in reversed(self.kinds))
+
+    def __str__(self) -> str:
+        return f"'{self.pattern()}'"
+
+
+def bits_of_range(msb: int, lsb: int) -> int:
+    """Integer with bits ``lsb..msb`` (inclusive) set."""
+    if msb < lsb:
+        raise ValueError(f"bit range {msb}..{lsb} is reversed")
+    return ((1 << (msb - lsb + 1)) - 1) << lsb
+
+
+def extract_bits(value: int, msb: int, lsb: int) -> int:
+    """Extract bits ``lsb..msb`` of ``value``, right-aligned."""
+    return (value >> lsb) & ((1 << (msb - lsb + 1)) - 1)
+
+
+def insert_bits(target: int, msb: int, lsb: int, field: int) -> int:
+    """Return ``target`` with bits ``lsb..msb`` replaced by ``field``."""
+    width_mask = (1 << (msb - lsb + 1)) - 1
+    return (target & ~(width_mask << lsb)) | ((field & width_mask) << lsb)
+
+
+def pattern_value(pattern: str) -> int:
+    """Decode a pure ``0``/``1`` pattern (an enum value) to an integer."""
+    if any(char not in "01" for char in pattern):
+        raise ValueError(
+            f"pattern '{pattern}' is not a pure binary value")
+    return int(pattern, 2)

@@ -1,0 +1,223 @@
+"""Pretty-printer: render a Devil AST back to concrete syntax.
+
+The printer closes the loop on the front end: for any specification,
+``parse(print(parse(source)))`` must equal ``parse(source)`` up to
+source locations — a property the test suite checks over the whole
+shipped library.  It is also what a formatter or a spec-publishing
+pipeline (the paper's planned WWW repository of specifications) would
+use.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .types import EnumDirection
+
+
+def print_device(device: ast.DeviceDecl) -> str:
+    """Render a full specification."""
+    params = ",\n        ".join(_param(p) for p in device.params)
+    lines = [f"device {device.name} ({params})", "{"]
+    for declaration in device.declarations:
+        lines.append(_indent(_declaration(declaration)))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line if line else line
+                     for line in text.splitlines())
+
+
+def _param(param: ast.PortParam) -> str:
+    ranges = ",".join(_int_range(low, high) for low, high in param.offsets)
+    return f"{param.name} : bit[{param.data_width}] port @ {{{ranges}}}"
+
+
+def _int_range(low: int, high: int) -> str:
+    return str(low) if low == high else f"{low}..{high}"
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+def _declaration(declaration: ast.Declaration) -> str:
+    if isinstance(declaration, ast.ModeDecl):
+        return "mode " + ", ".join(declaration.names) + ";"
+    if isinstance(declaration, ast.RegisterDecl):
+        return _register(declaration)
+    if isinstance(declaration, ast.VariableDecl):
+        return _variable(declaration)
+    if isinstance(declaration, ast.StructureDecl):
+        return _structure(declaration)
+    if isinstance(declaration, ast.TypeDecl):
+        return f"type {declaration.name} = " \
+            f"{_type_expr(declaration.type_expr)};"
+    raise TypeError(f"unknown declaration {declaration!r}")
+
+
+def _register(decl: ast.RegisterDecl) -> str:
+    head = f"register {decl.name}"
+    if decl.params:
+        inner = ", ".join(f"{p.name} : {_type_expr(p.type_expr)}"
+                          for p in decl.params)
+        head += f"({inner})"
+    clauses: list[str] = []
+    if decl.base is not None:
+        arguments = ", ".join(str(a) for a in decl.base.arguments)
+        clauses.append(f"{decl.base.constructor}({arguments})")
+    elif decl.read_port is decl.write_port:
+        clauses.append(_port(decl.read_port))
+    else:
+        if decl.read_port is not None:
+            clauses.append(f"read {_port(decl.read_port)}")
+        if decl.write_port is not None:
+            clauses.append(f"write {_port(decl.write_port)}")
+    if decl.mask_pattern is not None:
+        clauses.append(f"mask '{decl.mask_pattern}'")
+    if decl.pre_actions:
+        clauses.append(f"pre {_actions(decl.pre_actions)}")
+    if decl.post_actions:
+        clauses.append(f"post {_actions(decl.post_actions)}")
+    if decl.set_actions:
+        clauses.append(f"set {_actions(decl.set_actions)}")
+    if decl.mode is not None:
+        clauses.append(f"in {decl.mode}")
+    text = f"{head} = " + ", ".join(clauses)
+    if decl.width is not None:
+        text += f" : bit[{decl.width}]"
+    return text + ";"
+
+
+def _port(port: ast.PortExpr | None) -> str:
+    assert port is not None
+    if port.offset_param is not None:
+        if port.offset:
+            return f"{port.base} @ {port.offset} + {port.offset_param}"
+        return f"{port.base} @ {port.offset_param}"
+    return f"{port.base} @ {port.offset}" if port.offset else port.base
+
+
+def _variable(decl: ast.VariableDecl) -> str:
+    head = "private variable" if decl.private else "variable"
+    text = f"{head} {decl.name}"
+    if decl.chunks is not None:
+        chunks = " # ".join(_chunk(chunk) for chunk in decl.chunks)
+        text += f" = {chunks}"
+    for qualifier in _behaviours(decl.behaviors):
+        text += f", {qualifier}"
+    if decl.set_actions:
+        text += f", set {_actions(decl.set_actions)}"
+    if decl.type_expr is not None:
+        text += f" : {_type_expr(decl.type_expr)}"
+    if decl.serialization is not None:
+        text += f" serialized as {_serialization(decl.serialization)}"
+    return text + ";"
+
+
+def _chunk(chunk: ast.Chunk) -> str:
+    if chunk.ranges is None:
+        return chunk.register
+    ranges = ",".join(str(r) for r in chunk.ranges)
+    return f"{chunk.register}[{ranges}]"
+
+
+def _behaviours(behaviors: ast.Behaviors) -> list[str]:
+    result = []
+    if behaviors.trigger is not None:
+        trigger = behaviors.trigger
+        prefix = {ast.AccessDirection.READ: "read ",
+                  ast.AccessDirection.WRITE: "write ",
+                  ast.AccessDirection.BOTH: ""}[trigger.direction]
+        text = f"{prefix}trigger"
+        if trigger.except_symbol is not None:
+            text += f" except {trigger.except_symbol}"
+        elif trigger.for_value is not None:
+            text += f" for {_value(trigger.for_value)}"
+        result.append(text)
+    if behaviors.volatile:
+        result.append("volatile")
+    if behaviors.block:
+        result.append("block")
+    return result
+
+
+def _structure(decl: ast.StructureDecl) -> str:
+    lines = [f"structure {decl.name} = {{"]
+    for member in decl.members:
+        lines.append(_indent(_variable(member)))
+    closing = "}"
+    if decl.serialization is not None:
+        closing += f" serialized as {_serialization(decl.serialization)}"
+    lines.append(closing + ";")
+    return "\n".join(lines)
+
+
+def _serialization(steps: list[ast.SerStmt]) -> str:
+    rendered = []
+    for step in steps:
+        rendered.append(_ser_stmt(step))
+    return "{ " + " ".join(rendered) + " }"
+
+
+def _ser_stmt(step: ast.SerStmt) -> str:
+    if isinstance(step, ast.SerWrite):
+        return f"{step.register};"
+    assert isinstance(step, ast.SerIf)
+    return (f"if ({step.variable} == {_value(step.value)}) "
+            f"{_ser_stmt(step.body)}")
+
+
+# ---------------------------------------------------------------------------
+# Actions and values
+# ---------------------------------------------------------------------------
+
+
+def _actions(actions: list[ast.Action]) -> str:
+    inner = "; ".join(f"{a.target} = {_value(a.value)}" for a in actions)
+    return "{" + inner + "}"
+
+
+def _value(value: ast.ActionValue) -> str:
+    if isinstance(value, ast.IntValue):
+        return str(value.value)
+    if isinstance(value, ast.BoolValue):
+        return "true" if value.value else "false"
+    if isinstance(value, ast.SymbolValue):
+        return value.name
+    if isinstance(value, ast.WildcardValue):
+        return "*"
+    if isinstance(value, ast.StructValue):
+        fields = "; ".join(f"{name} => {_value(inner)}"
+                           for name, inner in value.fields)
+        return "{" + fields + "}"
+    raise TypeError(f"unknown action value {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def _type_expr(expr: ast.TypeExpr) -> str:
+    if isinstance(expr, ast.BoolTypeExpr):
+        return "bool"
+    if isinstance(expr, ast.IntTypeExpr):
+        prefix = "signed " if expr.signed else ""
+        return f"{prefix}int({expr.width})"
+    if isinstance(expr, ast.IntSetTypeExpr):
+        ranges = ",".join(_int_range(low, high)
+                          for low, high in expr.ranges)
+        return f"int{{{ranges}}}"
+    if isinstance(expr, ast.EnumTypeExpr):
+        arrows = {EnumDirection.READ: "<=", EnumDirection.WRITE: "=>",
+                  EnumDirection.BOTH: "<=>"}
+        items = ", ".join(
+            f"{item.name} {arrows[item.direction]} '{item.pattern}'"
+            for item in expr.items)
+        return "{ " + items + " }"
+    if isinstance(expr, ast.NamedTypeExpr):
+        return expr.name
+    raise TypeError(f"unknown type expression {expr!r}")

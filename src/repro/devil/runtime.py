@@ -1,0 +1,680 @@
+"""Executable stub runtime for checked Devil specifications.
+
+The paper's compiler emits C macros (Figure 3c) that a driver includes;
+this module provides the equivalent executable artifact for the Python
+reproduction: :class:`DeviceInstance` interprets the resolved model of a
+specification and exposes one ``get_<var>``/``set_<var>`` stub pair per
+public device variable, ``get_<structure>``/``set_<structure>`` stubs
+per structure, and ``read_<var>_block``/``write_<var>_block`` stubs for
+``block`` variables.
+
+Semantics implemented (§2.1–2.2 of the paper):
+
+* register masks — forced bits are OR-ed into every write, irrelevant
+  bits cleared;
+* pre/post actions — run around every access of their register, which
+  is how index-based addressing and banked registers are driven;
+* ``set`` actions — update private memory variables after an access,
+  modelling addressing automata such as the CS4236B's ``xm`` mode bit;
+* caching — the last written/read raw value of every register is kept
+  so that writing one variable of a shared register preserves its
+  idempotent neighbours;
+* trigger neutrality — when a shared register is written on behalf of
+  one variable, write-trigger neighbours receive their neutral value;
+* structures — one ``get`` performs the grouped read (each register
+  exactly once, volatile-consistent), after which member stubs read
+  the cache, exactly like ``bm_get_mouse_state`` / ``bm_get_dy``;
+* serialization — multi-register variables and structures perform
+  their I/O in the specified order, including conditional steps;
+* block transfer — ``block`` variables move whole buffers with one
+  accounted bus operation, the Pentium ``rep`` equivalence.
+
+Debug mode adds the run-time checks of §3.2: range/enum validation on
+writes, validation of values the device delivers on reads, and the
+"structure must be fetched before its members" protocol.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable
+
+from ..bus import Bus
+from .errors import DevilRuntimeError, SourceLocation, UNKNOWN_LOCATION
+from .mask import extract_bits, insert_bits
+from .model import (
+    ParamRef,
+    ResolvedAction,
+    ResolvedDevice,
+    ResolvedRegister,
+    ResolvedValue,
+    ResolvedVariable,
+    VarRef,
+    Wildcard,
+)
+
+
+class DeviceInstance:
+    """One device bound to a bus at concrete base addresses.
+
+    ``bases`` maps every port parameter of the specification to the
+    absolute bus address it was mapped at — the run-time analogue of
+    passing ``base`` to the ``logitech_busmouse`` declaration.
+
+    In addition to the generic :meth:`get`/:meth:`set` API, one bound
+    method per public variable and structure is attached at
+    construction time (``get_dx``, ``set_config``, ``get_mouse_state``,
+    ...), mirroring the per-variable stubs of the paper.
+    """
+
+    def __init__(self, model: ResolvedDevice, bus: Bus,
+                 bases: dict[str, int], debug: bool = True,
+                 composition: str = "cache"):
+        missing = set(model.params) - set(bases)
+        if missing:
+            raise DevilRuntimeError(
+                f"no base address for port parameter(s) {sorted(missing)}",
+                model.location)
+        if composition not in ("cache", "read-modify-write"):
+            raise DevilRuntimeError(
+                f"unknown composition strategy {composition!r}",
+                model.location)
+        self.model = model
+        self.bus = bus
+        self.bases = dict(bases)
+        self.debug = debug
+        #: How neighbour bits are supplied when writing one variable of
+        #: a shared register.  ``"cache"`` is Devil's strategy (§2.1:
+        #: idempotent values "can be cached"); ``"read-modify-write"``
+        #: is the naive alternative — re-read the register first — which
+        #: costs an extra I/O per write and is *wrong* for write-only
+        #: registers and non-idempotent reads.  Kept for the ablation
+        #: benchmark.
+        self.composition = composition
+        #: Last known raw value per register (write composition cache).
+        self._register_cache: dict[str, int] = {}
+        #: Raw register snapshots per structure, taken by get_<struct>.
+        self._structure_cache: dict[str, dict[str, int]] = {}
+        #: Values of private memory variables.
+        self._memory: dict[str, object] = {}
+        #: Last abstract value written per variable (for set-actions
+        #: and serialization conditions).
+        self._last_written: dict[str, object] = {}
+        if model.modes:
+            # Devices with conditional declarations reset into their
+            # first declared mode.
+            self._memory["device_mode"] = model.modes[0]
+            self._last_written["device_mode"] = model.modes[0]
+        #: Active transaction state, or None (see :meth:`transaction`).
+        self._txn: dict | None = None
+        self._attach_stubs()
+
+    # ------------------------------------------------------------------
+    # Stub attachment
+    # ------------------------------------------------------------------
+
+    def _attach_stubs(self) -> None:
+        for variable in self.model.public_variables():
+            name = variable.name
+            if self._variable_readable(variable):
+                setattr(self, f"get_{name}",
+                        _bind_getter(self, name))
+            if self._variable_writable(variable):
+                setattr(self, f"set_{name}",
+                        _bind_setter(self, name))
+            if variable.behaviors.block:
+                if self._variable_readable(variable):
+                    setattr(self, f"read_{name}_block",
+                            _bind_block_reader(self, name))
+                if self._variable_writable(variable):
+                    setattr(self, f"write_{name}_block",
+                            _bind_block_writer(self, name))
+        for structure in self.model.structures.values():
+            if self._structure_readable(structure.name):
+                setattr(self, f"get_{structure.name}",
+                        _bind_struct_getter(self, structure.name))
+            if self._structure_writable(structure.name):
+                setattr(self, f"set_{structure.name}",
+                        _bind_struct_setter(self, structure.name))
+
+    def _variable_readable(self, variable: ResolvedVariable) -> bool:
+        if variable.memory:
+            return True
+        return all(self.model.registers[c.register].readable
+                   for c in variable.chunks)
+
+    def _variable_writable(self, variable: ResolvedVariable) -> bool:
+        if variable.memory:
+            return True
+        return all(self.model.registers[c.register].writable
+                   for c in variable.chunks)
+
+    def _structure_readable(self, name: str) -> bool:
+        structure = self.model.structures[name]
+        return all(self._variable_readable(self.model.variables[m])
+                   for m in structure.members)
+
+    def _structure_writable(self, name: str) -> bool:
+        structure = self.model.structures[name]
+        return all(self._variable_writable(self.model.variables[m])
+                   for m in structure.members)
+
+    # ------------------------------------------------------------------
+    # Port arithmetic
+    # ------------------------------------------------------------------
+
+    def _address(self, port: tuple[str, int]) -> int:
+        base, offset = port
+        return self.bases[base] + offset
+
+    def _port_width(self, port: tuple[str, int]) -> int:
+        return self.model.params[port[0]].data_width
+
+    # ------------------------------------------------------------------
+    # Raw register access (pre/post/set actions included)
+    # ------------------------------------------------------------------
+
+    def _run_actions(self, actions: list[ResolvedAction],
+                     context: dict[str, object]) -> None:
+        for action in actions:
+            value = self._eval_value(action.value, context,
+                                     action.location)
+            if action.target_kind == "structure":
+                assert isinstance(value, dict)
+                self.set_structure(action.target, value)
+            else:
+                self.set(action.target, value)
+
+    def _eval_value(self, value: ResolvedValue,
+                    context: dict[str, object],
+                    location: SourceLocation) -> object:
+        if isinstance(value, Wildcard):
+            return 0  # any value is acceptable; stubs write zero
+        if isinstance(value, ParamRef):
+            raise DevilRuntimeError(
+                f"unsubstituted constructor parameter {value.name!r}",
+                location)
+        if isinstance(value, VarRef):
+            if value.name in context:
+                return context[value.name]
+            if value.name in self._last_written:
+                return self._last_written[value.name]
+            raise DevilRuntimeError(
+                f"action reads variable {value.name!r} before any value "
+                f"was written to it", location)
+        if isinstance(value, dict):
+            return {name: self._eval_value(inner, context, location)
+                    for name, inner in value.items()}
+        return value  # literal int / bool / enum symbol (str)
+
+    def _check_mode(self, register) -> None:
+        """Debug check: the register's mode must be the current mode."""
+        if not self.debug or register.mode is None:
+            return
+        current = self._memory.get("device_mode")
+        if current != register.mode:
+            raise DevilRuntimeError(
+                f"register {register.name!r} is only addressable in mode "
+                f"{register.mode!r}, but the device is in {current!r}",
+                register.location)
+
+    def read_register(self, name: str,
+                      context: dict[str, object] | None = None) -> int:
+        """Read one register, honouring pre/post/set actions and cache."""
+        register = self.model.registers[name]
+        if register.read_port is None:
+            raise DevilRuntimeError(
+                f"register {name!r} is write-only", register.location)
+        self._check_mode(register)
+        context = context or {}
+        self._run_actions(register.pre_actions, context)
+        raw = self.bus.read(self._address(register.read_port),
+                            self._port_width(register.read_port))
+        self._run_actions(register.post_actions, context)
+        self._run_actions(register.set_actions, context)
+        self._register_cache[name] = raw
+        return raw
+
+    def write_register(self, name: str, raw: int,
+                       context: dict[str, object] | None = None) -> None:
+        """Write one register: mask applied, actions run, cache updated."""
+        register = self.model.registers[name]
+        if register.write_port is None:
+            raise DevilRuntimeError(
+                f"register {name!r} is read-only", register.location)
+        self._check_mode(register)
+        context = context or {}
+        self._run_actions(register.pre_actions, context)
+        self.bus.write(register.mask.apply_write(raw),
+                       self._address(register.write_port),
+                       self._port_width(register.write_port))
+        self._run_actions(register.post_actions, context)
+        self._run_actions(register.set_actions, context)
+        self._register_cache[name] = raw & register.mask.variable_bits
+
+    # ------------------------------------------------------------------
+    # Value (de)composition
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _assemble(variable: ResolvedVariable,
+                  raw_registers: dict[str, int]) -> int:
+        """Concatenate the variable's chunks (MSB-first) from raw values."""
+        value = 0
+        for chunk in variable.chunks:
+            raw = raw_registers[chunk.register]
+            value = (value << chunk.width) | extract_bits(
+                raw, chunk.msb, chunk.lsb)
+        return value
+
+    def _compose_register_write(self, register: ResolvedRegister,
+                                updates: dict[str, int]) -> int:
+        """Raw value to write to ``register`` given new variable bits.
+
+        ``updates`` maps variable names to their new raw values.  Other
+        variables on the register contribute their cached bits if
+        idempotent, or their neutral value if write-trigger (§2.1:
+        "the Devil compiler has to determine a value to assign to the
+        other variables").
+        """
+        if self.composition == "read-modify-write" and \
+                register.readable and \
+                len(self.model.variables_of_register(register.name)) > 1:
+            # Ablation strategy: refresh neighbour bits from the device
+            # instead of the cache (one extra read per shared write).
+            self.read_register(register.name)
+        raw = self._register_cache.get(register.name, 0)
+        for neighbour in self.model.variables_of_register(register.name):
+            if neighbour.name in updates:
+                new_bits = updates[neighbour.name]
+                for chunk, value_lsb in neighbour.chunks_of(register.name):
+                    raw = insert_bits(
+                        raw, chunk.msb, chunk.lsb,
+                        extract_bits(new_bits,
+                                     value_lsb + chunk.width - 1,
+                                     value_lsb))
+            elif neighbour.behaviors.write_triggers and \
+                    neighbour.trigger_neutral_raw is not None:
+                neutral = neighbour.trigger_neutral_raw
+                for chunk, value_lsb in neighbour.chunks_of(register.name):
+                    raw = insert_bits(
+                        raw, chunk.msb, chunk.lsb,
+                        extract_bits(neutral,
+                                     value_lsb + chunk.width - 1,
+                                     value_lsb))
+            # Idempotent neighbours keep their cached bits (already in
+            # ``raw``); the default cache is zero, as in the generated
+            # C where the cache struct is zero-initialised.
+        return raw
+
+    # ------------------------------------------------------------------
+    # Variable access
+    # ------------------------------------------------------------------
+
+    def _lookup(self, name: str) -> ResolvedVariable:
+        variable = self.model.variables.get(name)
+        if variable is None:
+            raise DevilRuntimeError(f"unknown variable {name!r}",
+                                    self.model.location)
+        return variable
+
+    def get(self, name: str) -> object:
+        """Read device variable ``name`` (performs the I/O)."""
+        self._flush_pending()
+        variable = self._lookup(name)
+        if variable.memory:
+            if name not in self._memory:
+                raise DevilRuntimeError(
+                    f"memory variable {name!r} read before initialisation",
+                    variable.location)
+            return self._memory[name]
+        if variable.structure is not None:
+            return self._get_member(variable)
+        raw_registers: dict[str, int] = {}
+        for register_name in variable.registers():
+            raw_registers[register_name] = self.read_register(register_name)
+        raw = self._assemble(variable, raw_registers)
+        return self._decode(variable, raw)
+
+    def _get_member(self, variable: ResolvedVariable) -> object:
+        """Structure members read the snapshot, never the device."""
+        assert variable.structure is not None
+        snapshot = self._structure_cache.get(variable.structure)
+        if snapshot is None:
+            if self.debug:
+                raise DevilRuntimeError(
+                    f"variable {variable.name!r} read before its "
+                    f"structure {variable.structure!r} was fetched — "
+                    f"call get_{variable.structure}() first",
+                    variable.location)
+            snapshot = {chunk.register: 0 for chunk in variable.chunks}
+        raw = self._assemble(variable, snapshot)
+        return self._decode(variable, raw)
+
+    def _decode(self, variable: ResolvedVariable, raw: int) -> object:
+        if self.debug:
+            return variable.type.decode(raw, variable.location)
+        try:
+            return variable.type.decode(raw, variable.location)
+        except DevilRuntimeError:
+            return raw  # release builds skip the §3.2 read checks
+
+    def set(self, name: str, value: object) -> None:
+        """Write device variable ``name`` (performs the I/O).
+
+        Inside a :meth:`transaction`, the write is deferred and
+        coalesced with other writes to the same register.
+        """
+        variable = self._lookup(name)
+        raw = self._encode(variable, value)
+        if variable.memory:
+            self._memory[name] = value
+            self._last_written[name] = value
+            return
+        if self._txn is not None:
+            self._defer_write(variable, value, raw)
+            return
+        updates = {name: raw}
+        for register_name in variable.registers():
+            register = self.model.registers[register_name]
+            composed = self._compose_register_write(register, updates)
+            self.write_register(register_name, composed,
+                                context={name: value})
+        self._last_written[name] = value
+        self._run_actions(variable.set_actions, {name: value})
+
+    # ------------------------------------------------------------------
+    # Transactions: factorized device communication (§6 future work)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """Coalesce variable writes into one I/O operation per register.
+
+        The paper's future work proposes "factorizing and scheduling
+        device communications" at the compiler level; this is the
+        runtime form.  Within the block, ``set_<var>()`` calls are
+        deferred; on exit each touched register is written exactly
+        once, composed from every new value — so setting the three
+        device/head fields of the IDE controller costs one ``outb``,
+        like the hand-written driver's ``outb(0xE0 | ...)``, and
+        starting the NE2000 while issuing a remote-DMA command composes
+        ``START | REMOTE_READ`` into a single command write.
+
+        Reads inside the block first flush pending writes (program
+        order is preserved across the read).  Transactions do not
+        nest.
+        """
+        if self._txn is not None:
+            raise DevilRuntimeError("transactions do not nest",
+                                    self.model.location)
+        self._txn = {"registers": {}, "order": [], "variables": {}}
+        try:
+            yield self
+        finally:
+            transaction, self._txn = self._txn, None
+            self._flush_transaction(transaction)
+
+    def _defer_write(self, variable: ResolvedVariable, value: object,
+                     raw: int) -> None:
+        assert self._txn is not None
+        for register_name in variable.registers():
+            per_register = self._txn["registers"].setdefault(
+                register_name, {})
+            per_register[variable.name] = raw
+            if register_name not in self._txn["order"]:
+                self._txn["order"].append(register_name)
+        self._txn["variables"][variable.name] = value
+        self._last_written[variable.name] = value
+
+    def _flush_pending(self) -> None:
+        """Flush an open transaction (called before reads)."""
+        if self._txn is None:
+            return
+        transaction, self._txn = self._txn, None
+        self._flush_transaction(transaction)
+        self._txn = {"registers": {}, "order": [], "variables": {}}
+
+    def _flush_transaction(self, transaction: dict) -> None:
+        if not transaction["order"]:
+            return
+        values = dict(transaction["variables"])
+        for register_name in transaction["order"]:
+            register = self.model.registers[register_name]
+            updates = transaction["registers"][register_name]
+            composed = self._compose_register_write(register, updates)
+            self.write_register(register_name, composed, context=values)
+        for variable_name in transaction["variables"]:
+            variable = self.model.variables[variable_name]
+            self._run_actions(variable.set_actions, values)
+
+    def _encode(self, variable: ResolvedVariable, value: object) -> int:
+        if self.debug:
+            return variable.type.encode(value, variable.location)
+        try:
+            return variable.type.encode(value, variable.location)
+        except DevilRuntimeError:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value & ((1 << variable.type.width) - 1)
+            raise
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+
+    def _structure(self, name: str):
+        structure = self.model.structures.get(name)
+        if structure is None:
+            raise DevilRuntimeError(f"unknown structure {name!r}",
+                                    self.model.location)
+        return structure
+
+    def _structure_registers(self, name: str) -> list[str]:
+        """Registers of a structure's members, first-use order, deduped."""
+        structure = self._structure(name)
+        ordered: list[str] = []
+        for member_name in structure.members:
+            member = self.model.variables[member_name]
+            for chunk in member.chunks:
+                if chunk.register not in ordered:
+                    ordered.append(chunk.register)
+        return ordered
+
+    def get_structure(self, name: str) -> dict[str, object]:
+        """Grouped read: each member register exactly once (§2.1).
+
+        Returns the decoded member values; member stubs subsequently
+        read the same snapshot, so ``dy`` and ``buttons`` observe the
+        single read of ``y_high`` — exactly Figure 3c.
+        """
+        structure = self._structure(name)
+        snapshot: dict[str, int] = {}
+        for register_name in self._structure_registers(name):
+            snapshot[register_name] = self.read_register(register_name)
+        self._structure_cache[name] = snapshot
+        result = {}
+        for member_name in structure.members:
+            member = self.model.variables[member_name]
+            raw = self._assemble(member, snapshot)
+            result[member_name] = self._decode(member, raw)
+        return result
+
+    def set_structure(self, name: str, values: dict[str, object]) -> None:
+        """Grouped write, honouring the serialization clause.
+
+        ``values`` must provide every member (the checker enforces the
+        same rule on structure-valued actions); conditional
+        serialization steps are evaluated against these values, which
+        is how the 8259A's mode-dependent init sequence is driven.
+        """
+        structure = self._structure(name)
+        missing = set(structure.members) - set(values)
+        if missing:
+            raise DevilRuntimeError(
+                f"structure write of {name!r} must provide every member "
+                f"(missing: {sorted(missing)})", structure.location)
+        unknown = set(values) - set(structure.members)
+        if unknown:
+            raise DevilRuntimeError(
+                f"unknown member(s) {sorted(unknown)} in structure write "
+                f"of {name!r}", structure.location)
+        updates = {}
+        for member_name, value in values.items():
+            member = self.model.variables[member_name]
+            updates[member_name] = self._encode(member, value)
+
+        if structure.serialization is not None:
+            steps = structure.serialization
+        else:
+            steps = [_PlainStep(register)
+                     for register in self._structure_registers(name)]
+        for step in steps:
+            if step.condition is not None:
+                variable_name, expected_raw = step.condition
+                if updates.get(variable_name) != expected_raw:
+                    continue
+            register = self.model.registers[step.register]
+            composed = self._compose_register_write(register, updates)
+            self.write_register(step.register, composed, context=dict(values))
+        for member_name, value in values.items():
+            member = self.model.variables[member_name]
+            self._last_written[member_name] = value
+            self._run_actions(member.set_actions, dict(values))
+
+    # ------------------------------------------------------------------
+    # Block transfer
+    # ------------------------------------------------------------------
+
+    def _block_variable(self, name: str) -> ResolvedVariable:
+        variable = self._lookup(name)
+        if not variable.behaviors.block:
+            raise DevilRuntimeError(
+                f"variable {name!r} has no 'block' behaviour",
+                variable.location)
+        if len(variable.chunks) != 1:
+            raise DevilRuntimeError(
+                f"block variable {name!r} must cover one whole register",
+                variable.location)
+        chunk = variable.chunks[0]
+        register = self.model.registers[chunk.register]
+        if chunk.width != register.width or chunk.lsb != 0:
+            raise DevilRuntimeError(
+                f"block variable {name!r} must cover one whole register",
+                variable.location)
+        return variable
+
+    def read_block(self, name: str, count: int) -> list[int]:
+        """Block read: one accounted bus operation for ``count`` words.
+
+        Models the processor-specific ``rep`` stub of §2.2 ("Block
+        transfer"): pre-actions run once, then the transfer is
+        hardware-paced.
+        """
+        variable = self._block_variable(name)
+        register = self.model.registers[variable.chunks[0].register]
+        if register.read_port is None:
+            raise DevilRuntimeError(
+                f"register {register.name!r} is write-only",
+                register.location)
+        self._run_actions(register.pre_actions, {})
+        values = self.bus.block_read(self._address(register.read_port),
+                                     count,
+                                     self._port_width(register.read_port))
+        self._run_actions(register.post_actions, {})
+        self._run_actions(register.set_actions, {})
+        return values
+
+    def write_block(self, name: str, values: Iterable[int]) -> int:
+        """Block write counterpart of :meth:`read_block`."""
+        variable = self._block_variable(name)
+        register = self.model.registers[variable.chunks[0].register]
+        if register.write_port is None:
+            raise DevilRuntimeError(
+                f"register {register.name!r} is read-only",
+                register.location)
+        self._run_actions(register.pre_actions, {})
+        count = self.bus.block_write(self._address(register.write_port),
+                                     values,
+                                     self._port_width(register.write_port))
+        self._run_actions(register.post_actions, {})
+        self._run_actions(register.set_actions, {})
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def cached_register(self, name: str) -> int | None:
+        """Last known raw value of a register (None if never accessed)."""
+        return self._register_cache.get(name)
+
+    def invalidate_caches(self) -> None:
+        """Drop every cache (e.g. after a device reset)."""
+        self._register_cache.clear()
+        self._structure_cache.clear()
+
+
+class _PlainStep:
+    """Unconditional serialization step used when none was declared."""
+
+    __slots__ = ("register", "condition")
+
+    def __init__(self, register: str):
+        self.register = register
+        self.condition = None
+
+
+# ---------------------------------------------------------------------------
+# Bound stub factories (kept top-level so instances stay picklable-ish
+# and the closures are easy to read)
+# ---------------------------------------------------------------------------
+
+
+def _bind_getter(instance: DeviceInstance, name: str):
+    def getter():
+        return instance.get(name)
+    getter.__name__ = f"get_{name}"
+    getter.__doc__ = f"Read device variable {name!r}."
+    return getter
+
+
+def _bind_setter(instance: DeviceInstance, name: str):
+    def setter(value):
+        instance.set(name, value)
+    setter.__name__ = f"set_{name}"
+    setter.__doc__ = f"Write device variable {name!r}."
+    return setter
+
+
+def _bind_struct_getter(instance: DeviceInstance, name: str):
+    def getter():
+        return instance.get_structure(name)
+    getter.__name__ = f"get_{name}"
+    getter.__doc__ = f"Fetch structure {name!r} (grouped register read)."
+    return getter
+
+
+def _bind_struct_setter(instance: DeviceInstance, name: str):
+    def setter(**values):
+        instance.set_structure(name, values)
+    setter.__name__ = f"set_{name}"
+    setter.__doc__ = f"Write structure {name!r} (serialized register writes)."
+    return setter
+
+
+def _bind_block_reader(instance: DeviceInstance, name: str):
+    def reader(count: int):
+        return instance.read_block(name, count)
+    reader.__name__ = f"read_{name}_block"
+    reader.__doc__ = f"Block-read ``count`` words through {name!r}."
+    return reader
+
+
+def _bind_block_writer(instance: DeviceInstance, name: str):
+    def writer(values):
+        return instance.write_block(name, values)
+    writer.__name__ = f"write_{name}_block"
+    writer.__doc__ = f"Block-write a buffer through {name!r}."
+    return writer

@@ -1,0 +1,333 @@
+"""The Devil type system.
+
+Device variables are strongly typed (§2.1): booleans, signed or unsigned
+integers of explicit bit width, integer ranges/sets such as ``int{0..31}``
+or ``int{0..17,25}``, and enumerated types mapping symbolic names to bit
+patterns with read (``<=``), write (``=>``) or read-write (``<=>``)
+constraints.
+
+Each type knows its bit width, whether it can encode values for writing
+and decode values read from the device, and how to perform both
+conversions.  The static checker uses widths for the size checks of
+§3.1; the generated stubs use ``encode``/``decode`` and, in debug mode,
+``contains`` for the run-time checks of §3.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import DevilRuntimeError, SourceLocation, UNKNOWN_LOCATION
+from .mask import pattern_value
+
+
+class EnumDirection(enum.Enum):
+    """Access constraint of one enumerated-type element."""
+
+    READ = "<="
+    WRITE = "=>"
+    BOTH = "<=>"
+
+    @property
+    def readable(self) -> bool:
+        return self in (EnumDirection.READ, EnumDirection.BOTH)
+
+    @property
+    def writable(self) -> bool:
+        return self in (EnumDirection.WRITE, EnumDirection.BOTH)
+
+
+class DevilType:
+    """Base class for every Devil type.  Subclasses are value objects."""
+
+    #: Bit width of the concrete representation.
+    width: int
+
+    def can_decode(self) -> bool:
+        """True if values read from the device can be interpreted."""
+        raise NotImplementedError
+
+    def can_encode(self) -> bool:
+        """True if abstract values can be converted for writing."""
+        raise NotImplementedError
+
+    def contains(self, value: object) -> bool:
+        """True if ``value`` is a legal abstract value of this type."""
+        raise NotImplementedError
+
+    def encode(self, value: object,
+               location: SourceLocation = UNKNOWN_LOCATION) -> int:
+        """Convert an abstract value to raw bits (for a device write)."""
+        raise NotImplementedError
+
+    def decode(self, raw: int,
+               location: SourceLocation = UNKNOWN_LOCATION) -> object:
+        """Convert raw bits (from a device read) to an abstract value."""
+        raise NotImplementedError
+
+    def decode_is_exhaustive(self) -> bool:
+        """True if every raw bit pattern decodes to a legal value.
+
+        The "no omission" rule of §3.1 requires read mappings of
+        enumerated types to be exhaustive; plain integer types always
+        are, integer sets and non-exhaustive enums are not.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BoolType(DevilType):
+    """The ``bool`` type: one bit, ``False``/``True``."""
+
+    width: int = field(default=1, init=False)
+
+    def can_decode(self) -> bool:
+        return True
+
+    def can_encode(self) -> bool:
+        return True
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, bool) or value in (0, 1)
+
+    def encode(self, value: object,
+               location: SourceLocation = UNKNOWN_LOCATION) -> int:
+        if not self.contains(value):
+            raise DevilRuntimeError(
+                f"value {value!r} is not a boolean", location)
+        return 1 if value else 0
+
+    def decode(self, raw: int,
+               location: SourceLocation = UNKNOWN_LOCATION) -> bool:
+        return bool(raw & 1)
+
+    def decode_is_exhaustive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class IntType(DevilType):
+    """``int(n)`` or ``signed int(n)``: an n-bit two's-complement field."""
+
+    width: int
+    signed: bool = False
+
+    @property
+    def minimum(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def maximum(self) -> int:
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    def can_decode(self) -> bool:
+        return True
+
+    def can_encode(self) -> bool:
+        return True
+
+    def contains(self, value: object) -> bool:
+        return (isinstance(value, int) and not isinstance(value, bool)
+                and self.minimum <= value <= self.maximum)
+
+    def encode(self, value: object,
+               location: SourceLocation = UNKNOWN_LOCATION) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise DevilRuntimeError(
+                f"value {value!r} is not an integer", location)
+        if not self.contains(value):
+            raise DevilRuntimeError(
+                f"value {value} outside range [{self.minimum}, "
+                f"{self.maximum}] of {self}", location)
+        return value & ((1 << self.width) - 1)
+
+    def decode(self, raw: int,
+               location: SourceLocation = UNKNOWN_LOCATION) -> int:
+        raw &= (1 << self.width) - 1
+        if self.signed and raw >= (1 << (self.width - 1)):
+            return raw - (1 << self.width)
+        return raw
+
+    def decode_is_exhaustive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        prefix = "signed " if self.signed else ""
+        return f"{prefix}int({self.width})"
+
+
+@dataclass(frozen=True)
+class IntSetType(DevilType):
+    """``int{0..31}`` / ``int{0..17,25}``: an explicit set of legal values.
+
+    The width is the number of bits needed for the largest member, so
+    ``int{0..31}`` is a 5-bit field.  Negative members are not allowed
+    (the paper only uses such types for register indices).
+    """
+
+    values: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("empty integer set type")
+        if min(self.values) < 0:
+            raise ValueError("integer set types must be non-negative")
+
+    @property
+    def width(self) -> int:  # type: ignore[override]
+        return max(max(self.values).bit_length(), 1)
+
+    def can_decode(self) -> bool:
+        return True
+
+    def can_encode(self) -> bool:
+        return True
+
+    def contains(self, value: object) -> bool:
+        return (isinstance(value, int) and not isinstance(value, bool)
+                and value in self.values)
+
+    def encode(self, value: object,
+               location: SourceLocation = UNKNOWN_LOCATION) -> int:
+        if not self.contains(value):
+            raise DevilRuntimeError(
+                f"value {value!r} is not a member of {self}", location)
+        assert isinstance(value, int)
+        return value
+
+    def decode(self, raw: int,
+               location: SourceLocation = UNKNOWN_LOCATION) -> int:
+        raw &= (1 << self.width) - 1
+        if raw not in self.values:
+            raise DevilRuntimeError(
+                f"device delivered {raw}, which is not a member of {self}",
+                location)
+        return raw
+
+    def decode_is_exhaustive(self) -> bool:
+        return self.values == frozenset(range(1 << self.width))
+
+    def __str__(self) -> str:
+        return "int{" + _render_int_set(self.values) + "}"
+
+
+def _render_int_set(values: frozenset[int]) -> str:
+    """Render as compact ranges, e.g. ``0..17,25``."""
+    ordered = sorted(values)
+    parts: list[str] = []
+    start = prev = ordered[0]
+    for value in ordered[1:] + [None]:  # type: ignore[list-item]
+        if value is not None and value == prev + 1:
+            prev = value
+            continue
+        parts.append(str(start) if start == prev else f"{start}..{prev}")
+        if value is not None:
+            start = prev = value
+    return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class EnumItem:
+    """One element of an enumerated type: symbol, bits, direction."""
+
+    name: str
+    pattern: str
+    direction: EnumDirection
+
+    @property
+    def value(self) -> int:
+        return pattern_value(self.pattern)
+
+    @property
+    def width(self) -> int:
+        return len(self.pattern)
+
+
+@dataclass(frozen=True)
+class EnumType(DevilType):
+    """An enumerated type, e.g. ``{ ENABLE => '0', DISABLE => '1' }``.
+
+    Reading decodes raw bits to the symbol name (a ``str``); writing
+    encodes a symbol name to its pattern.  Direction arrows restrict
+    which side each element participates in.
+    """
+
+    items: tuple[EnumItem, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError("empty enumerated type")
+        widths = {item.width for item in self.items}
+        if len(widths) != 1:
+            raise ValueError(
+                f"enumerated type mixes pattern widths {sorted(widths)}")
+
+    @property
+    def width(self) -> int:  # type: ignore[override]
+        return self.items[0].width
+
+    def item(self, name: str) -> EnumItem | None:
+        for candidate in self.items:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    @property
+    def readable_items(self) -> tuple[EnumItem, ...]:
+        return tuple(i for i in self.items if i.direction.readable)
+
+    @property
+    def writable_items(self) -> tuple[EnumItem, ...]:
+        return tuple(i for i in self.items if i.direction.writable)
+
+    def can_decode(self) -> bool:
+        return bool(self.readable_items)
+
+    def can_encode(self) -> bool:
+        return bool(self.writable_items)
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, str) and self.item(value) is not None
+
+    def encode(self, value: object,
+               location: SourceLocation = UNKNOWN_LOCATION) -> int:
+        if not isinstance(value, str):
+            raise DevilRuntimeError(
+                f"enumerated value must be a symbol name, got {value!r}",
+                location)
+        item = self.item(value)
+        if item is None:
+            raise DevilRuntimeError(
+                f"{value!r} is not a symbol of {self}", location)
+        if not item.direction.writable:
+            raise DevilRuntimeError(
+                f"symbol {value!r} of {self} is read-only", location)
+        return item.value
+
+    def decode(self, raw: int,
+               location: SourceLocation = UNKNOWN_LOCATION) -> str:
+        raw &= (1 << self.width) - 1
+        for item in self.readable_items:
+            if item.value == raw:
+                return item.name
+        raise DevilRuntimeError(
+            f"device delivered {raw:#x}, which matches no readable symbol "
+            f"of {self}", location)
+
+    def decode_is_exhaustive(self) -> bool:
+        covered = {item.value for item in self.readable_items}
+        return covered == set(range(1 << self.width))
+
+    def __str__(self) -> str:
+        if self.name:
+            return f"enum {self.name}"
+        body = ", ".join(
+            f"{i.name} {i.direction.value} '{i.pattern}'" for i in self.items)
+        return "{ " + body + " }"

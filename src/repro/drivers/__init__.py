@@ -1,0 +1,37 @@
+"""Driver pairs: hand-crafted "C-style" vs Devil-based.
+
+For each device the paper's evaluation touches, this package provides
+two functionally identical drivers:
+
+* a **C-style** driver written in the idiom of Figure 2 — hex
+  constants, explicit shifts and masks, direct port accesses — a
+  transliteration of the original Linux 2.2 hardware operating code;
+* a **Devil-based** driver written in the idiom of Figure 3 — all
+  hardware communication through the stubs generated from the shipped
+  Devil specification.
+
+Both drive the same behavioural device models over the same simulated
+bus, so differences in I/O-operation counts and (modelled) throughput
+are attributable to the programming model alone — which is exactly the
+comparison of Tables 2, 3 and 4.
+"""
+
+from .busmouse_cstyle import CStyleBusmouseDriver
+from .busmouse_devil import DevilBusmouseDriver
+from .ide_cstyle import CStyleIdeDriver
+from .ide_devil import DevilIdeDriver
+from .ne2000_cstyle import CStyleNe2000Driver
+from .ne2000_devil import DevilNe2000Driver
+from .permedia2_cstyle import CStylePermedia2Driver
+from .permedia2_devil import DevilPermedia2Driver
+
+__all__ = [
+    "CStyleBusmouseDriver",
+    "DevilBusmouseDriver",
+    "CStyleIdeDriver",
+    "DevilIdeDriver",
+    "CStyleNe2000Driver",
+    "DevilNe2000Driver",
+    "CStylePermedia2Driver",
+    "DevilPermedia2Driver",
+]

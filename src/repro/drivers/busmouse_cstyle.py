@@ -1,0 +1,84 @@
+"""Hand-crafted Logitech busmouse driver (Figure 2 idiom).
+
+A line-for-line transliteration of the original Linux 2.2
+``logibusmouse`` hardware operating code: macro-style hex constants,
+explicit nibble masking and shifting, direct port accesses.  This is
+the kind of code the paper's mutation analysis shows to be fragile —
+every constant below is a silent-failure point.
+"""
+
+from __future__ import annotations
+
+from ..bus import Bus
+
+# --- begin hardware operating code (macro definitions, Figure 2a) ---
+MSE_DATA_PORT = 0x0
+MSE_SIGNATURE_PORT = 0x1
+MSE_CONTROL_PORT = 0x2
+MSE_CONFIG_PORT = 0x3
+
+MSE_READ_X_LOW = 0x80
+MSE_READ_X_HIGH = 0xA0
+MSE_READ_Y_LOW = 0xC0
+MSE_READ_Y_HIGH = 0xE0
+
+MSE_INT_ON = 0x00
+MSE_INT_OFF = 0x10
+
+MSE_CONFIG_BYTE = 0x91
+MSE_DEFAULT_MODE = 0x90
+MSE_SIGNATURE_BYTE = 0xA5
+# --- end hardware operating code ---
+
+
+class CStyleBusmouseDriver:
+    """Mouse driver talking to the device with raw port operations."""
+
+    def __init__(self, bus: Bus, base: int):
+        self.bus = bus
+        self.base = base
+
+    # ------------------------------------------------------------------
+    # Detection and configuration
+    # ------------------------------------------------------------------
+
+    def probe(self) -> bool:
+        """Detect the mouse: the signature register must echo a byte."""
+        self.bus.outb(MSE_CONFIG_BYTE, self.base + MSE_CONFIG_PORT)
+        self.bus.outb(MSE_SIGNATURE_BYTE, self.base + MSE_SIGNATURE_PORT)
+        if self.bus.inb(self.base + MSE_SIGNATURE_PORT) != \
+                MSE_SIGNATURE_BYTE:
+            return False
+        self.bus.outb(MSE_DEFAULT_MODE, self.base + MSE_CONFIG_PORT)
+        return True
+
+    def enable_interrupts(self) -> None:
+        self.bus.outb(MSE_INT_ON, self.base + MSE_CONTROL_PORT)
+
+    def disable_interrupts(self) -> None:
+        self.bus.outb(MSE_INT_OFF, self.base + MSE_CONTROL_PORT)
+
+    # ------------------------------------------------------------------
+    # Interrupt handler body (Figure 2b)
+    # ------------------------------------------------------------------
+
+    def read_event(self) -> tuple[int, int, int]:
+        """Read one (dx, dy, buttons) event and re-arm the interrupt."""
+        # --- begin hardware operating code (Figure 2b) ---
+        self.bus.outb(MSE_READ_X_LOW, self.base + MSE_CONTROL_PORT)
+        dx = self.bus.inb(self.base + MSE_DATA_PORT) & 0xF
+        self.bus.outb(MSE_READ_X_HIGH, self.base + MSE_CONTROL_PORT)
+        dx |= (self.bus.inb(self.base + MSE_DATA_PORT) & 0xF) << 4
+        self.bus.outb(MSE_READ_Y_LOW, self.base + MSE_CONTROL_PORT)
+        dy = self.bus.inb(self.base + MSE_DATA_PORT) & 0xF
+        self.bus.outb(MSE_READ_Y_HIGH, self.base + MSE_CONTROL_PORT)
+        buttons = self.bus.inb(self.base + MSE_DATA_PORT)
+        dy |= (buttons & 0xF) << 4
+        buttons = (buttons >> 5) & 0x07
+        self.bus.outb(MSE_INT_ON, self.base + MSE_CONTROL_PORT)
+        # --- end hardware operating code ---
+        return (_signed8(dx), _signed8(dy), buttons)
+
+
+def _signed8(value: int) -> int:
+    return value - 256 if value >= 128 else value

@@ -1,0 +1,61 @@
+"""Devil-based Logitech busmouse driver (Figure 3 idiom).
+
+All hardware communication goes through the stubs generated from
+``busmouse.devil``; the driver itself only manipulates abstract values
+(`'CONFIGURATION'`, `'ENABLE'`, decoded signed deltas), exactly like
+Figure 3b of the paper:
+
+.. code-block:: c
+
+    bm_get_mouse_state();
+    dy = bm_get_dy();
+    buttons = bm_get_buttons();
+"""
+
+from __future__ import annotations
+
+from ..bus import Bus
+from ..devil.runtime import DeviceInstance
+from ..specs import compile_shipped
+
+SIGNATURE_BYTE = 0xA5
+
+
+class DevilBusmouseDriver:
+    """Mouse driver built on the generated Devil interface."""
+
+    def __init__(self, bus: Bus, base: int, debug: bool = True):
+        spec = compile_shipped("busmouse")
+        self.dev: DeviceInstance = spec.bind(bus, {"base": base},
+                                             debug=debug)
+
+    # ------------------------------------------------------------------
+    # Detection and configuration
+    # ------------------------------------------------------------------
+
+    def probe(self) -> bool:
+        self.dev.set_config("CONFIGURATION")
+        self.dev.set_signature(SIGNATURE_BYTE)
+        if self.dev.get_signature() != SIGNATURE_BYTE:
+            return False
+        self.dev.set_config("DEFAULT_MODE")
+        return True
+
+    def enable_interrupts(self) -> None:
+        self.dev.set_interrupt("ENABLE")
+
+    def disable_interrupts(self) -> None:
+        self.dev.set_interrupt("DISABLE")
+
+    # ------------------------------------------------------------------
+    # Interrupt handler body (Figure 3b)
+    # ------------------------------------------------------------------
+
+    def read_event(self) -> tuple[int, int, int]:
+        """Read one (dx, dy, buttons) event and re-arm the interrupt."""
+        state = self.dev.get_mouse_state()
+        dx = self.dev.get_dx()
+        dy = self.dev.get_dy()
+        buttons = state["buttons"]
+        self.dev.set_interrupt("ENABLE")
+        return (dx, dy, buttons)

@@ -1,0 +1,194 @@
+"""Hand-crafted IDE driver (the paper's "standard driver").
+
+Transliterates the Linux 2.2 IDE hardware operating code: raw taskfile
+programming (7 I/O operations per command), one status read per
+interrupt, ``rep insw``/``rep insl`` block transfers for the data
+phase, and busmaster DMA programming in 7 additional operations — the
+operation counts of the *standard driver* columns of Table 2.
+"""
+
+from __future__ import annotations
+
+from ..bus import Bus
+from ..devices.ide import SECTOR_SIZE
+
+# --- begin hardware operating code (macro definitions) ---
+IDE_DATA = 0x0
+IDE_ERROR = 0x1
+IDE_FEATURES = 0x1
+IDE_NSECTOR = 0x2
+IDE_LBA_LOW = 0x3
+IDE_LBA_MID = 0x4
+IDE_LBA_HIGH = 0x5
+IDE_SELECT = 0x6
+IDE_STATUS = 0x7
+IDE_COMMAND = 0x7
+
+STATUS_ERR = 0x01
+STATUS_DRQ = 0x08
+STATUS_BSY = 0x80
+
+WIN_READ = 0x20
+WIN_WRITE = 0x30
+WIN_MULTREAD = 0xC4
+WIN_MULTWRITE = 0xC5
+WIN_SETMULT = 0xC6
+WIN_READDMA = 0xC8
+WIN_WRITEDMA = 0xCA
+WIN_IDENTIFY = 0xEC
+
+BM_COMMAND = 0x0
+BM_STATUS = 0x2
+BM_PRD = 0x4
+BM_CMD_START = 0x01
+BM_CMD_TO_MEMORY = 0x08
+BM_STAT_IRQ = 0x04
+BM_STAT_ERR = 0x02
+# --- end hardware operating code ---
+
+
+class IdeError(Exception):
+    """Raised when the device reports an error status."""
+
+
+class CStyleIdeDriver:
+    """IDE driver talking to the device with raw port operations."""
+
+    def __init__(self, bus: Bus, cmd_base: int = 0x1F0,
+                 ctrl_base: int = 0x3F6, bm_base: int = 0xC000):
+        self.bus = bus
+        self.cmd_base = cmd_base
+        self.ctrl_base = ctrl_base
+        self.bm_base = bm_base
+
+    # ------------------------------------------------------------------
+    # Command setup: the paper's 7 I/O operations
+    # ------------------------------------------------------------------
+
+    def _issue(self, command: int, lba: int, count: int) -> None:
+        self.bus.outb(0x00, self.ctrl_base)                       # nIEN=0
+        self.bus.outb(0xE0 | ((lba >> 24) & 0x0F),
+                      self.cmd_base + IDE_SELECT)
+        self.bus.outb(count & 0xFF, self.cmd_base + IDE_NSECTOR)
+        self.bus.outb(lba & 0xFF, self.cmd_base + IDE_LBA_LOW)
+        self.bus.outb((lba >> 8) & 0xFF, self.cmd_base + IDE_LBA_MID)
+        self.bus.outb((lba >> 16) & 0xFF, self.cmd_base + IDE_LBA_HIGH)
+        self.bus.outb(command, self.cmd_base + IDE_COMMAND)
+
+    def _wait_block(self) -> int:
+        """One status read per interrupt: ack and sanity-check."""
+        status = self.bus.inb(self.cmd_base + IDE_STATUS)
+        if status & STATUS_ERR:
+            raise IdeError(
+                f"device error {self.bus.inb(self.cmd_base + IDE_ERROR):#x}")
+        if status & STATUS_BSY or not status & STATUS_DRQ:
+            raise IdeError(f"unexpected status {status:#04x}")
+        return status
+
+    # ------------------------------------------------------------------
+    # PIO transfers
+    # ------------------------------------------------------------------
+
+    def set_multiple(self, sectors: int) -> None:
+        self._issue(WIN_SETMULT, 0, sectors)
+
+    def read_sectors(self, lba: int, count: int,
+                     sectors_per_irq: int = 1,
+                     io_width: int = 16) -> bytes:
+        """PIO read; the standard driver always uses ``rep`` transfers."""
+        command = WIN_READ if sectors_per_irq == 1 else WIN_MULTREAD
+        self._issue(command, lba, count)
+        words_per_sector = SECTOR_SIZE * 8 // io_width
+        out = bytearray()
+        remaining = count
+        while remaining > 0:
+            block = min(sectors_per_irq, remaining)
+            self._wait_block()
+            words = self.bus.block_read(self.cmd_base + IDE_DATA,
+                                        block * words_per_sector, io_width)
+            size = io_width // 8
+            for word in words:
+                out += word.to_bytes(size, "little")
+            remaining -= block
+        return bytes(out)
+
+    def write_sectors(self, lba: int, data: bytes,
+                      sectors_per_irq: int = 1,
+                      io_width: int = 16) -> None:
+        if len(data) % SECTOR_SIZE:
+            raise ValueError("data must be whole sectors")
+        count = len(data) // SECTOR_SIZE
+        command = WIN_WRITE if sectors_per_irq == 1 else WIN_MULTWRITE
+        self._issue(command, lba, count)
+        size = io_width // 8
+        position = 0
+        remaining = count
+        while remaining > 0:
+            block = min(sectors_per_irq, remaining)
+            self._wait_block()
+            chunk = data[position:position + block * SECTOR_SIZE]
+            words = [int.from_bytes(chunk[i:i + size], "little")
+                     for i in range(0, len(chunk), size)]
+            self.bus.block_write(self.cmd_base + IDE_DATA, words, io_width)
+            position += block * SECTOR_SIZE
+            remaining -= block
+        # The final interrupt signals completion of the last block.
+
+    def identify(self) -> bytes:
+        self.bus.outb(0x00, self.ctrl_base)
+        self.bus.outb(0xE0, self.cmd_base + IDE_SELECT)
+        self.bus.outb(WIN_IDENTIFY, self.cmd_base + IDE_COMMAND)
+        self._wait_block()
+        words = self.bus.block_read(self.cmd_base + IDE_DATA, 256, 16)
+        return b"".join(word.to_bytes(2, "little") for word in words)
+
+    # ------------------------------------------------------------------
+    # Busmaster DMA: 7 further operations around the taskfile
+    # ------------------------------------------------------------------
+
+    def _prepare_prd(self, memory: bytearray, prd_address: int,
+                     buffer_address: int, byte_count: int) -> None:
+        memory[prd_address:prd_address + 4] = \
+            buffer_address.to_bytes(4, "little")
+        memory[prd_address + 4:prd_address + 6] = \
+            (byte_count & 0xFFFF).to_bytes(2, "little")
+        memory[prd_address + 6:prd_address + 8] = \
+            (0x8000).to_bytes(2, "little")
+
+    def read_dma(self, memory: bytearray, lba: int, count: int,
+                 buffer_address: int, prd_address: int = 0x8000) -> bytes:
+        self._prepare_prd(memory, prd_address, buffer_address,
+                          count * SECTOR_SIZE)
+        self._issue(WIN_READDMA, lba, count)
+        self.bus.outb(0x00, self.bm_base + BM_COMMAND)  # stop engine
+        self.bus.outl(prd_address, self.bm_base + BM_PRD)
+        self.bus.outb(BM_STAT_IRQ | BM_STAT_ERR, self.bm_base + BM_STATUS)
+        self.bus.outb(BM_CMD_START | BM_CMD_TO_MEMORY,
+                      self.bm_base + BM_COMMAND)
+        status = self.bus.inb(self.bm_base + BM_STATUS)
+        if not status & BM_STAT_IRQ or status & BM_STAT_ERR:
+            raise IdeError(f"busmaster status {status:#04x}")
+        disk_status = self.bus.inb(self.cmd_base + IDE_STATUS)
+        if disk_status & STATUS_ERR:
+            raise IdeError(f"device status {disk_status:#04x}")
+        self.bus.outb(0x00, self.bm_base + BM_COMMAND)
+        return bytes(memory[buffer_address:
+                            buffer_address + count * SECTOR_SIZE])
+
+    def write_dma(self, memory: bytearray, lba: int, data: bytes,
+                  buffer_address: int, prd_address: int = 0x8000) -> None:
+        count = len(data) // SECTOR_SIZE
+        memory[buffer_address:buffer_address + len(data)] = data
+        self._prepare_prd(memory, prd_address, buffer_address, len(data))
+        self._issue(WIN_WRITEDMA, lba, count)
+        self.bus.outb(0x00, self.bm_base + BM_COMMAND)  # stop engine
+        self.bus.outl(prd_address, self.bm_base + BM_PRD)
+        self.bus.outb(BM_STAT_IRQ | BM_STAT_ERR, self.bm_base + BM_STATUS)
+        self.bus.outb(BM_CMD_START, self.bm_base + BM_COMMAND)
+        status = self.bus.inb(self.bm_base + BM_STATUS)
+        if not status & BM_STAT_IRQ or status & BM_STAT_ERR:
+            raise IdeError(f"busmaster status {status:#04x}")
+        disk_status = self.bus.inb(self.cmd_base + IDE_STATUS)
+        if disk_status & STATUS_ERR:
+            raise IdeError(f"device status {disk_status:#04x}")
+        self.bus.outb(0x00, self.bm_base + BM_COMMAND)

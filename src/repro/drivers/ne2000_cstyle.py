@@ -1,0 +1,186 @@
+"""Hand-crafted NE2000 driver (Linux ``ne.c``/``8390.c`` idiom).
+
+Raw port accesses with the traditional macro constants: command
+register values are built with OR-ed hex flags, the remote-DMA window
+is programmed byte by byte, and the packet ring header is decoded with
+explicit masks — all the patterns the paper's mutation analysis
+identifies as silent-failure points.
+"""
+
+from __future__ import annotations
+
+from ..bus import Bus
+
+# --- begin hardware operating code (macro definitions) ---
+E8390_CMD = 0x00
+EN0_STARTPG = 0x01
+EN0_STOPPG = 0x02
+EN0_BOUNDARY = 0x03
+EN0_TPSR = 0x04
+EN0_TCNTLO = 0x05
+EN0_TCNTHI = 0x06
+EN0_ISR = 0x07
+EN0_RSARLO = 0x08
+EN0_RSARHI = 0x09
+EN0_RCNTLO = 0x0A
+EN0_RCNTHI = 0x0B
+EN0_RXCR = 0x0C
+EN0_TXCR = 0x0D
+EN0_DCFG = 0x0E
+EN0_IMR = 0x0F
+EN1_PHYS = 0x01
+EN1_CURPAG = 0x07
+
+E8390_STOP = 0x01
+E8390_START = 0x02
+E8390_TRANS = 0x04
+E8390_RREAD = 0x08
+E8390_RWRITE = 0x10
+E8390_NODMA = 0x20
+E8390_PAGE0 = 0x00
+E8390_PAGE1 = 0x40
+
+ENISR_RX = 0x01
+ENISR_TX = 0x02
+ENISR_RDC = 0x40
+ENISR_ALL = 0x3F
+
+NE_DATAPORT = 0x10
+NE_RESET = 0x1F
+
+TX_START_PAGE = 0x40
+RX_START_PAGE = 0x46
+RX_STOP_PAGE = 0x80
+# --- end hardware operating code ---
+
+
+class CStyleNe2000Driver:
+    """NE2000 driver talking to the NIC with raw port operations."""
+
+    def __init__(self, bus: Bus, base: int = 0x300):
+        self.bus = bus
+        self.base = base
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.bus.outb(self.bus.inb(self.base + NE_RESET),
+                      self.base + NE_RESET)
+
+    def init(self, mac: bytes) -> None:
+        base = self.base
+        self.bus.outb(E8390_STOP | E8390_NODMA | E8390_PAGE0,
+                      base + E8390_CMD)
+        self.bus.outb(0x49, base + EN0_DCFG)      # word-wide, FIFO8
+        self.bus.outb(0x00, base + EN0_RCNTLO)
+        self.bus.outb(0x00, base + EN0_RCNTHI)
+        self.bus.outb(0x04, base + EN0_RXCR)      # accept broadcast
+        self.bus.outb(0x02, base + EN0_TXCR)      # internal loopback
+        self.bus.outb(TX_START_PAGE, base + EN0_TPSR)
+        self.bus.outb(RX_START_PAGE, base + EN0_STARTPG)
+        self.bus.outb(RX_START_PAGE, base + EN0_BOUNDARY)
+        self.bus.outb(RX_STOP_PAGE, base + EN0_STOPPG)
+        self.bus.outb(0xFF, base + EN0_ISR)       # ack everything
+        self.bus.outb(ENISR_ALL, base + EN0_IMR)
+        self.bus.outb(E8390_STOP | E8390_NODMA | E8390_PAGE1,
+                      base + E8390_CMD)
+        for index in range(6):
+            self.bus.outb(mac[index], base + EN1_PHYS + index)
+        self.bus.outb(RX_START_PAGE, base + EN1_CURPAG)
+        self.bus.outb(E8390_START | E8390_NODMA | E8390_PAGE0,
+                      base + E8390_CMD)
+        self.bus.outb(0x00, base + EN0_TXCR)      # normal operation
+
+    def read_mac(self) -> bytes:
+        self.bus.outb(E8390_START | E8390_NODMA | E8390_PAGE1,
+                      self.base + E8390_CMD)
+        mac = bytes(self.bus.inb(self.base + EN1_PHYS + i)
+                    for i in range(6))
+        self.bus.outb(E8390_START | E8390_NODMA | E8390_PAGE0,
+                      self.base + E8390_CMD)
+        return mac
+
+    # ------------------------------------------------------------------
+    # Remote DMA helpers
+    # ------------------------------------------------------------------
+
+    def _remote_setup(self, address: int, count: int, write: bool) -> None:
+        base = self.base
+        self.bus.outb(E8390_START | E8390_NODMA | E8390_PAGE0,
+                      base + E8390_CMD)
+        self.bus.outb(count & 0xFF, base + EN0_RCNTLO)
+        self.bus.outb((count >> 8) & 0xFF, base + EN0_RCNTHI)
+        self.bus.outb(address & 0xFF, base + EN0_RSARLO)
+        self.bus.outb((address >> 8) & 0xFF, base + EN0_RSARHI)
+        command = E8390_RWRITE if write else E8390_RREAD
+        self.bus.outb(E8390_START | command | E8390_PAGE0,
+                      base + E8390_CMD)
+
+    def _remote_write(self, address: int, data: bytes) -> None:
+        if len(data) % 2:
+            data += b"\x00"
+        self._remote_setup(address, len(data), write=True)
+        words = [data[i] | (data[i + 1] << 8)
+                 for i in range(0, len(data), 2)]
+        self.bus.block_write(self.base + NE_DATAPORT, words, 16)
+        self.bus.outb(ENISR_RDC, self.base + EN0_ISR)
+
+    def _remote_read(self, address: int, count: int) -> bytes:
+        if count % 2:
+            count += 1
+        self._remote_setup(address, count, write=False)
+        words = self.bus.block_read(self.base + NE_DATAPORT, count // 2, 16)
+        self.bus.outb(ENISR_RDC, self.base + EN0_ISR)
+        return b"".join(word.to_bytes(2, "little") for word in words)
+
+    def _ring_read(self, address: int, count: int) -> bytes:
+        """Remote read that splits at the receive-ring wrap point.
+
+        The DP8390's remote DMA runs straight through the end of the
+        on-board RAM; software must split a read that crosses the ring
+        boundary (the Linux driver's well-known "ring wrap" handling).
+        """
+        ring_end = RX_STOP_PAGE << 8
+        if address + count <= ring_end:
+            return self._remote_read(address, count)
+        first = ring_end - address
+        head = self._remote_read(address, first)
+        tail = self._remote_read(RX_START_PAGE << 8, count - first)
+        return head[:first] + tail[:count - first]
+
+    # ------------------------------------------------------------------
+    # Transmit / receive
+    # ------------------------------------------------------------------
+
+    def send_frame(self, frame: bytes) -> None:
+        self._remote_write(TX_START_PAGE << 8, frame)
+        base = self.base
+        self.bus.outb(TX_START_PAGE, base + EN0_TPSR)
+        self.bus.outb(len(frame) & 0xFF, base + EN0_TCNTLO)
+        self.bus.outb((len(frame) >> 8) & 0xFF, base + EN0_TCNTHI)
+        self.bus.outb(E8390_START | E8390_TRANS | E8390_NODMA,
+                      base + E8390_CMD)
+        self.bus.outb(ENISR_TX, base + EN0_ISR)
+
+    def poll_receive(self) -> list[bytes]:
+        """Drain every complete packet out of the receive ring."""
+        base = self.base
+        frames: list[bytes] = []
+        while True:
+            self.bus.outb(E8390_START | E8390_NODMA | E8390_PAGE1,
+                          base + E8390_CMD)
+            current = self.bus.inb(base + EN1_CURPAG)
+            self.bus.outb(E8390_START | E8390_NODMA | E8390_PAGE0,
+                          base + E8390_CMD)
+            boundary = self.bus.inb(base + EN0_BOUNDARY)
+            if boundary == current:
+                self.bus.outb(ENISR_RX, base + EN0_ISR)
+                return frames
+            header = self._remote_read(boundary << 8, 4)
+            next_page = header[1]
+            total = header[2] | (header[3] << 8)
+            body = self._ring_read((boundary << 8) + 4, total - 4)
+            frames.append(body[:total - 4])
+            self.bus.outb(next_page, base + EN0_BOUNDARY)

@@ -1,0 +1,135 @@
+"""Devil-based NE2000 driver.
+
+Every hardware access goes through the stubs generated from
+``ne2000.devil``.  Note what disappears compared to the hand-written
+driver: no page-select flags OR-ed into command bytes (pre-actions on
+the private ``page`` variable do it), no ``E8390_START | E8390_NODMA``
+incantations (trigger variables with neutral values compose them), and
+no manual split of 16-bit counts into two byte registers (serialized
+multi-register variables).
+"""
+
+from __future__ import annotations
+
+from ..bus import Bus
+from ..specs import compile_shipped
+
+TX_START_PAGE = 0x40
+RX_START_PAGE = 0x46
+RX_STOP_PAGE = 0x80
+
+
+class DevilNe2000Driver:
+    """NE2000 driver built on the generated Devil interface."""
+
+    def __init__(self, bus: Bus, base: int = 0x300, data_base: int = 0x310,
+                 reset_base: int = 0x31F, debug: bool = True):
+        spec = compile_shipped("ne2000")
+        self.dev = spec.bind(bus, {"base": base, "data": data_base,
+                                   "rst": reset_base}, debug=debug)
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.dev.set_reset(0)
+
+    def init(self, mac: bytes) -> None:
+        dev = self.dev
+        dev.set_st("STOP")
+        dev.set_data_config(word_wide=True, byte_order="LITTLE",
+                            long_address=False, loopback_select=True,
+                            auto_init_remote=False, fifo_threshold="FIFO8")
+        dev.set_remote_byte_count(0)
+        dev.set_receive_config(save_errors=False, accept_runts=False,
+                               accept_broadcast=True, accept_multicast=False,
+                               promiscuous=False, monitor=False)
+        dev.set_transmit_config(inhibit_crc=False, loopback="INTERNAL",
+                                auto_transmit=False, collision_offset=False)
+        dev.set_tx_page_start(TX_START_PAGE)
+        dev.set_page_start(RX_START_PAGE)
+        dev.set_boundary(RX_START_PAGE)
+        dev.set_page_stop(RX_STOP_PAGE)
+        self.ack_interrupts()
+        dev.set_interrupt_mask(
+            mask_packet_received=True, mask_packet_transmitted=True,
+            mask_receive_error=True, mask_transmit_error=True,
+            mask_overwrite_warning=True, mask_counter_overflow=True,
+            mask_dma_complete=False)  # ENISR_ALL leaves RDC unmasked
+        for index, byte in enumerate(mac):
+            dev.set(f"physical_address{index}", byte)
+        dev.set_current_page(RX_START_PAGE)
+        dev.set_st("START")
+        dev.set_transmit_config(inhibit_crc=False, loopback="NORMAL",
+                                auto_transmit=False, collision_offset=False)
+
+    def read_mac(self) -> bytes:
+        return bytes(self.dev.get(f"physical_address{i}") for i in range(6))
+
+    def ack_interrupts(self) -> None:
+        """Write-1-to-clear every ISR bit."""
+        self.dev.set_structure("interrupt_status", {
+            name: True for name in (
+                "packet_received", "packet_transmitted", "receive_error",
+                "transmit_error", "overwrite_warning", "counter_overflow",
+                "dma_complete", "reset_status")})
+
+    # ------------------------------------------------------------------
+    # Remote DMA helpers
+    # ------------------------------------------------------------------
+
+    def _remote_write(self, address: int, data: bytes) -> None:
+        if len(data) % 2:
+            data += b"\x00"
+        self.dev.set_remote_byte_count(len(data))
+        self.dev.set_remote_start_address(address)
+        self.dev.set_rd("REMOTE_WRITE")
+        words = [data[i] | (data[i + 1] << 8)
+                 for i in range(0, len(data), 2)]
+        self.dev.write_dma_data_block(words)
+
+    def _remote_read(self, address: int, count: int) -> bytes:
+        if count % 2:
+            count += 1
+        self.dev.set_remote_byte_count(count)
+        self.dev.set_remote_start_address(address)
+        self.dev.set_rd("REMOTE_READ")
+        words = self.dev.read_dma_data_block(count // 2)
+        return b"".join(word.to_bytes(2, "little") for word in words)
+
+    def _ring_read(self, address: int, count: int) -> bytes:
+        """Remote read split at the receive-ring wrap point (the
+        DP8390 does not wrap remote DMA; software must)."""
+        ring_end = RX_STOP_PAGE << 8
+        if address + count <= ring_end:
+            return self._remote_read(address, count)
+        first = ring_end - address
+        head = self._remote_read(address, first)
+        tail = self._remote_read(RX_START_PAGE << 8, count - first)
+        return head[:first] + tail[:count - first]
+
+    # ------------------------------------------------------------------
+    # Transmit / receive
+    # ------------------------------------------------------------------
+
+    def send_frame(self, frame: bytes) -> None:
+        self._remote_write(TX_START_PAGE << 8, frame)
+        self.dev.set_tx_page_start(TX_START_PAGE)
+        self.dev.set_tx_byte_count(len(frame))
+        self.dev.set_txp("TRANSMIT")
+
+    def poll_receive(self) -> list[bytes]:
+        """Drain every complete packet out of the receive ring."""
+        frames: list[bytes] = []
+        while True:
+            current = self.dev.get_current_page()
+            boundary = self.dev.get_boundary()
+            if boundary == current:
+                return frames
+            header = self._remote_read(boundary << 8, 4)
+            next_page = header[1]
+            total = header[2] | (header[3] << 8)
+            body = self._ring_read((boundary << 8) + 4, total - 4)
+            frames.append(body[:total - 4])
+            self.dev.set_boundary(next_page)

@@ -1,0 +1,112 @@
+"""Hand-crafted Permedia2 Xfree86-style driver.
+
+Follows the 3Dlabs Xfree86 driver structure the paper re-engineered:
+before every group of drawing-register stores the driver polls the
+FIFO-space register until enough entries are free (``#w`` iterations
+per wait loop, one I/O operation each), then queues packed 32-bit
+register writes and finally the render command.  Fill-rectangle and
+screen-copy are the two accelerated primitives (Tables 3 and 4).
+"""
+
+from __future__ import annotations
+
+from ..bus import Bus
+
+# --- begin hardware operating code (register offsets, in 32-bit words) ---
+PM2_FIFO_SPACE = 0x0
+PM2_BLOCK_COLOR = 0x1
+PM2_RECT_ORIGIN = 0x2
+PM2_RECT_SIZE = 0x3
+PM2_COPY_OFFSET = 0x4
+PM2_RENDER = 0x5
+PM2_STATUS = 0x6
+PM2_MODE = 0x7
+PM2_SCISSOR_MIN = 0x8
+PM2_SCISSOR_MAX = 0x9
+PM2_WRITE_MASK = 0xA
+PM2_LOGIC_OP = 0xB
+PM2_WINDOW_ORIGIN = 0xC
+PM2_FB_ADDR = 0xD
+
+RENDER_FILL = 0x1
+RENDER_COPY = 0x2
+
+DEPTH_CODE = {8: 0x0, 16: 0x1, 24: 0x2, 32: 0x3}
+# --- end hardware operating code ---
+
+
+class CStylePermedia2Driver:
+    """Accelerated 2D driver using raw MMIO stores."""
+
+    def __init__(self, bus: Bus, regs_base: int, fb_base: int = 0):
+        self.bus = bus
+        self.regs = regs_base
+        self.fb_base = fb_base
+        #: Total FIFO-wait iterations, for the #w accounting.
+        self.wait_iterations = 0
+
+    # ------------------------------------------------------------------
+    # FIFO pacing
+    # ------------------------------------------------------------------
+
+    def _wait_fifo(self, entries: int) -> None:
+        while True:
+            self.wait_iterations += 1
+            if self.bus.inl(self.regs + PM2_FIFO_SPACE) >= entries:
+                return
+
+    # ------------------------------------------------------------------
+    # Mode setting (once per screen configuration)
+    # ------------------------------------------------------------------
+
+    def set_mode(self, depth_bits: int, width: int, height: int) -> None:
+        self._wait_fifo(5)
+        self.bus.outl(DEPTH_CODE[depth_bits], self.regs + PM2_MODE)
+        self.bus.outl(0x00000000, self.regs + PM2_SCISSOR_MIN)
+        self.bus.outl((height << 16) | width, self.regs + PM2_SCISSOR_MAX)
+        self.bus.outl(0x00000000, self.regs + PM2_WINDOW_ORIGIN)
+        self.bus.outl(0xFFFFFFFF, self.regs + PM2_WRITE_MASK)
+
+    # ------------------------------------------------------------------
+    # Accelerated primitives
+    # ------------------------------------------------------------------
+
+    def fill_rect(self, x: int, y: int, width: int, height: int,
+                  color: int) -> None:
+        self._wait_fifo(3)
+        self.bus.outl(color, self.regs + PM2_BLOCK_COLOR)
+        self.bus.outl(0xFFFFFFFF, self.regs + PM2_WRITE_MASK)
+        self.bus.outl(0x3, self.regs + PM2_LOGIC_OP)
+        self._wait_fifo(2)
+        self.bus.outl((y << 16) | x, self.regs + PM2_RECT_ORIGIN)
+        self.bus.outl((height << 16) | width, self.regs + PM2_RECT_SIZE)
+        self._wait_fifo(1)
+        self.bus.outl(RENDER_FILL, self.regs + PM2_RENDER)
+
+    def screen_copy(self, src_x: int, src_y: int, dst_x: int, dst_y: int,
+                    width: int, height: int) -> None:
+        delta_x = (src_x - dst_x) & 0xFFFF
+        delta_y = (src_y - dst_y) & 0xFFFF
+        self._wait_fifo(2)
+        self.bus.outl((delta_y << 16) | delta_x,
+                      self.regs + PM2_COPY_OFFSET)
+        self.bus.outl(0x3, self.regs + PM2_LOGIC_OP)
+        self._wait_fifo(2)
+        self.bus.outl((dst_y << 16) | dst_x, self.regs + PM2_RECT_ORIGIN)
+        self.bus.outl((height << 16) | width, self.regs + PM2_RECT_SIZE)
+        self._wait_fifo(1)
+        self.bus.outl(RENDER_COPY, self.regs + PM2_RENDER)
+
+    # ------------------------------------------------------------------
+    # Software rendering fallback (framebuffer aperture)
+    # ------------------------------------------------------------------
+
+    def write_pixels(self, start: int, pixels: list[int]) -> None:
+        self._wait_fifo(1)
+        self.bus.outl(start, self.regs + PM2_FB_ADDR)
+        self.bus.block_write(self.fb_base, pixels, 32)
+
+    def read_pixels(self, start: int, count: int) -> list[int]:
+        self._wait_fifo(1)
+        self.bus.outl(start, self.regs + PM2_FB_ADDR)
+        return self.bus.block_read(self.fb_base, count, 32)

@@ -1,0 +1,95 @@
+"""Devil-based Permedia2 driver.
+
+Functionally identical to the hand-written driver, but every MMIO
+access goes through the stubs generated from ``permedia2.devil``.
+Because the specification keeps the rectangle origin and size as
+independent variables over their packed registers, each primitive
+costs two more I/O operations than the hand-written driver — the
+3(#w)+17 against 3(#w)+15 of Table 3.
+"""
+
+from __future__ import annotations
+
+from ..bus import Bus
+from ..specs import compile_shipped
+
+
+class DevilPermedia2Driver:
+    """Accelerated 2D driver built on the generated Devil interface."""
+
+    def __init__(self, bus: Bus, regs_base: int, fb_base: int = 0,
+                 debug: bool = False):
+        spec = compile_shipped("permedia2")
+        self.dev = spec.bind(bus, {"regs": regs_base, "fb": fb_base},
+                             debug=debug)
+        #: Total FIFO-wait iterations, for the #w accounting.
+        self.wait_iterations = 0
+
+    # ------------------------------------------------------------------
+    # FIFO pacing
+    # ------------------------------------------------------------------
+
+    def _wait_fifo(self, entries: int) -> None:
+        while True:
+            self.wait_iterations += 1
+            if self.dev.get_fifo_space() >= entries:
+                return
+
+    # ------------------------------------------------------------------
+    # Mode setting
+    # ------------------------------------------------------------------
+
+    def set_mode(self, depth_bits: int, width: int, height: int) -> None:
+        depth = {8: "BPP8", 16: "BPP16", 24: "BPP24", 32: "BPP32"}
+        self._wait_fifo(5)
+        self.dev.set_pixel_depth(depth[depth_bits])
+        self.dev.set_scissor_min(scissor_min_x=0, scissor_min_y=0)
+        self.dev.set_scissor_max(scissor_max_x=width, scissor_max_y=height)
+        self.dev.set_window_origin(window_x=0, window_y=0)
+        self.dev.set_fb_write_mask(0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # Accelerated primitives
+    # ------------------------------------------------------------------
+
+    def fill_rect(self, x: int, y: int, width: int, height: int,
+                  color: int) -> None:
+        self._wait_fifo(3)
+        self.dev.set_block_color(color)
+        self.dev.set_fb_write_mask(0xFFFFFFFF)
+        self.dev.set_logical_op(0x3)
+        self._wait_fifo(2)
+        self.dev.set_rect_x(x)
+        self.dev.set_rect_y(y)
+        self.dev.set_rect_width(width)
+        self.dev.set_rect_height(height)
+        self._wait_fifo(1)
+        self.dev.set_render("FILL_RECT")
+
+    def screen_copy(self, src_x: int, src_y: int, dst_x: int, dst_y: int,
+                    width: int, height: int) -> None:
+        self._wait_fifo(2)
+        self.dev.set_copy_offset(copy_dx=src_x - dst_x,
+                                 copy_dy=src_y - dst_y)
+        self.dev.set_logical_op(0x3)
+        self._wait_fifo(2)
+        self.dev.set_rect_x(dst_x)
+        self.dev.set_rect_y(dst_y)
+        self.dev.set_rect_width(width)
+        self.dev.set_rect_height(height)
+        self._wait_fifo(1)
+        self.dev.set_render("COPY_RECT")
+
+    # ------------------------------------------------------------------
+    # Software rendering fallback
+    # ------------------------------------------------------------------
+
+    def write_pixels(self, start: int, pixels: list[int]) -> None:
+        self._wait_fifo(1)
+        self.dev.set_fb_address(start)
+        self.dev.write_fb_data_block(pixels)
+
+    def read_pixels(self, start: int, count: int) -> list[int]:
+        self._wait_fifo(1)
+        self.dev.set_fb_address(start)
+        return self.dev.read_fb_data_block(count)

@@ -1,0 +1,31 @@
+"""A miniature C front end modelling compile-time error detection.
+
+The mutation analysis of Table 1 needs to decide, for thousands of
+single-character mutants of driver code, whether "the compiler" would
+reject each one.  For Devil that compiler is this repository's own
+checker; for the C and CDevil programs it is this package: a C-subset
+lexer, parser and symbol checker tuned to report exactly what a
+year-2000 ``gcc -Wall`` reports on hardware operating code.
+"""
+
+from .checker import (
+    CDiagnostic,
+    CheckResult,
+    CParseError,
+    check_c,
+    kernel_externals,
+)
+from .lexer import CLexError, CToken, CTokenKind, number_value, tokenize_c
+
+__all__ = [
+    "CDiagnostic",
+    "CheckResult",
+    "CParseError",
+    "CLexError",
+    "CToken",
+    "CTokenKind",
+    "check_c",
+    "kernel_externals",
+    "number_value",
+    "tokenize_c",
+]

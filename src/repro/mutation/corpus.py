@@ -1,0 +1,510 @@
+"""Mutation-analysis corpus: the programs Table 1 mutates.
+
+For each of the paper's three devices (Logitech busmouse, IDE, NE2000
+Ethernet) the corpus holds:
+
+* a **C** program — the hardware operating code of the Linux 2.2
+  driver, transliterated from the originals (Figure 2 shows the
+  busmouse fragment).  Only the regions between the ``MUTATE`` markers
+  are mutation-eligible, mirroring the paper's hand-tagging of the
+  hardware operating regions;
+* a **CDevil** program — the same driver logic rewritten against the
+  stubs generated from the shipped Devil specification (Figure 3
+  style, ``DEVIL_NO_REF`` single-device mode);
+* the **Devil** target is the shipped specification itself
+  (``repro.specs``), which is mutation-eligible in full.
+
+The C fragments must stay compilable by :mod:`repro.minic` — the test
+suite asserts that every unmutated corpus program checks clean.
+"""
+
+from __future__ import annotations
+
+MUTATE_BEGIN = "/*MUTATE*/"
+MUTATE_END = "/*END-MUTATE*/"
+
+
+# ---------------------------------------------------------------------------
+# Logitech busmouse
+# ---------------------------------------------------------------------------
+
+BUSMOUSE_C = r"""
+/*MUTATE*/
+#define MSE_DATA_PORT 0x23c
+#define MSE_SIGNATURE_PORT 0x23d
+#define MSE_CONTROL_PORT 0x23e
+#define MSE_CONFIG_PORT 0x23f
+
+#define MSE_READ_X_LOW 0x80
+#define MSE_READ_X_HIGH 0xa0
+#define MSE_READ_Y_LOW 0xc0
+#define MSE_READ_Y_HIGH 0xe0
+
+#define MSE_INT_ON 0x00
+#define MSE_INT_OFF 0x10
+
+#define MSE_CONFIG_BYTE 0x91
+#define MSE_DEFAULT_MODE 0x90
+#define MSE_SIGNATURE_BYTE 0xa5
+
+int mouse_probe(void)
+{
+    int sig;
+    outb(MSE_CONFIG_BYTE, MSE_CONFIG_PORT);
+    outb(MSE_SIGNATURE_BYTE, MSE_SIGNATURE_PORT);
+    sig = inb(MSE_SIGNATURE_PORT);
+    if (sig != MSE_SIGNATURE_BYTE)
+        return 0;
+    outb(MSE_DEFAULT_MODE, MSE_CONFIG_PORT);
+    return 1;
+}
+
+void mouse_interrupt(int *pdx, int *pdy, int *pbuttons)
+{
+    int dx;
+    int dy;
+    int buttons;
+    outb(MSE_READ_X_LOW, MSE_CONTROL_PORT);
+    dx = inb(MSE_DATA_PORT) & 0xf;
+    outb(MSE_READ_X_HIGH, MSE_CONTROL_PORT);
+    dx |= (inb(MSE_DATA_PORT) & 0xf) << 4;
+    outb(MSE_READ_Y_LOW, MSE_CONTROL_PORT);
+    dy = inb(MSE_DATA_PORT) & 0xf;
+    outb(MSE_READ_Y_HIGH, MSE_CONTROL_PORT);
+    buttons = inb(MSE_DATA_PORT);
+    dy |= (buttons & 0xf) << 4;
+    buttons = (buttons >> 5) & 0x07;
+    outb(MSE_INT_ON, MSE_CONTROL_PORT);
+    *pdx = dx;
+    *pdy = dy;
+    *pbuttons = buttons;
+}
+/*END-MUTATE*/
+"""
+
+BUSMOUSE_CDEVIL = r"""
+/*MUTATE*/
+int mouse_probe(void)
+{
+    bm_set_config(BM_CONFIGURATION);
+    bm_set_signature(0xa5);
+    if (bm_get_signature() != 0xa5)
+        return 0;
+    bm_set_config(BM_DEFAULT_MODE);
+    return 1;
+}
+
+void mouse_interrupt(int *pdx, int *pdy, int *pbuttons)
+{
+    bm_get_mouse_state();
+    *pdx = bm_get_dx();
+    *pdy = bm_get_dy();
+    *pbuttons = bm_get_buttons();
+    bm_set_interrupt(BM_ENABLE);
+}
+/*END-MUTATE*/
+"""
+
+
+# ---------------------------------------------------------------------------
+# IDE (Intel PIIX4) — the taskfile/busmaster hardware operating code
+# ---------------------------------------------------------------------------
+
+IDE_C = r"""
+/*MUTATE*/
+#define IDE_DATA 0x1f0
+#define IDE_ERROR 0x1f1
+#define IDE_NSECTOR 0x1f2
+#define IDE_SECTOR 0x1f3
+#define IDE_LCYL 0x1f4
+#define IDE_HCYL 0x1f5
+#define IDE_SELECT 0x1f6
+#define IDE_STATUS 0x1f7
+#define IDE_COMMAND 0x1f7
+#define IDE_CONTROL 0x3f6
+
+#define BUSY_STAT 0x80
+#define READY_STAT 0x40
+#define DRQ_STAT 0x08
+#define ERR_STAT 0x01
+
+#define WIN_READ 0x20
+#define WIN_WRITE 0x30
+#define WIN_MULTREAD 0xc4
+#define WIN_SETMULT 0xc6
+#define WIN_READDMA 0xc8
+
+#define BM_COMMAND 0xc000
+#define BM_STATUS 0xc002
+#define BM_PRD 0xc004
+
+int ide_issue(int cmd, int lba, int nsect)
+{
+    outb(0x00, IDE_CONTROL);
+    outb(0xe0 | ((lba >> 24) & 0x0f), IDE_SELECT);
+    outb(nsect & 0xff, IDE_NSECTOR);
+    outb(lba & 0xff, IDE_SECTOR);
+    outb((lba >> 8) & 0xff, IDE_LCYL);
+    outb((lba >> 16) & 0xff, IDE_HCYL);
+    outb(cmd, IDE_COMMAND);
+    return 0;
+}
+
+int ide_wait_drq(void)
+{
+    int stat;
+    stat = inb(IDE_STATUS);
+    if (stat & BUSY_STAT)
+        return -1;
+    if (stat & ERR_STAT)
+        return -1;
+    if (!(stat & DRQ_STAT))
+        return -1;
+    return 0;
+}
+
+int ide_read(int lba, int nsect, unsigned short *buf)
+{
+    int blk;
+    ide_issue(WIN_READ, lba, nsect);
+    for (blk = 0; blk < nsect; blk++) {
+        if (ide_wait_drq() < 0)
+            return -1;
+        insw(IDE_DATA, buf + (blk << 8), 256);
+    }
+    return 0;
+}
+
+int ide_read_dma(int lba, int nsect, unsigned int prd)
+{
+    int stat;
+    ide_issue(WIN_READDMA, lba, nsect);
+    outl(prd, BM_PRD);
+    outb(0x06, BM_STATUS);
+    outb(0x09, BM_COMMAND);
+    stat = inb(BM_STATUS);
+    if (!(stat & 0x04) || (stat & 0x02))
+        return -1;
+    stat = inb(IDE_STATUS);
+    if (stat & ERR_STAT)
+        return -1;
+    outb(0x00, BM_COMMAND);
+    return 0;
+}
+/*END-MUTATE*/
+"""
+
+IDE_CDEVIL = r"""
+/*MUTATE*/
+int ide_issue_devil(int lba, int nsect)
+{
+    ide_set_irq_disabled(0);
+    ide_set_lba_mode(1);
+    ide_set_drive(IDE_MASTER);
+    ide_set_head((lba >> 24) & 0x0f);
+    ide_set_sector_count(nsect & 0xff);
+    ide_set_lba_low(lba & 0xff);
+    ide_set_lba_mid((lba >> 8) & 0xff);
+    ide_set_lba_high((lba >> 16) & 0xff);
+    return 0;
+}
+
+int ide_wait_drq_devil(void)
+{
+    if (ide_get_ide_bsy())
+        return -1;
+    if (ide_get_ide_err())
+        return -1;
+    if (!ide_get_ide_drq())
+        return -1;
+    return 0;
+}
+
+int ide_read_devil(int lba, int nsect, unsigned int *buf)
+{
+    int blk;
+    ide_issue_devil(lba, nsect);
+    ide_set_command(IDE_READ_SECTORS);
+    for (blk = 0; blk < nsect; blk++) {
+        if (ide_wait_drq_devil() < 0)
+            return -1;
+        ide_read_ide_data_block(buf + (blk << 8), 256);
+    }
+    return 0;
+}
+
+int ide_read_dma_devil(int lba, int nsect, unsigned int prd)
+{
+    ide_issue_devil(lba, nsect);
+    ide_set_command(IDE_READ_DMA);
+    pii_set_prd_pointer(prd);
+    pii_set_bm_error(1);
+    pii_set_bm_irq(1);
+    pii_set_dma_direction(PII_TO_MEMORY);
+    pii_set_dma_start(1);
+    if (!pii_get_bm_irq() || pii_get_bm_error())
+        return -1;
+    if (ide_get_ide_bsy() || ide_get_ide_err())
+        return -1;
+    pii_set_dma_start(0);
+    return 0;
+}
+/*END-MUTATE*/
+"""
+
+
+# ---------------------------------------------------------------------------
+# NE2000 Ethernet — the largest fragment, as in the paper
+# ---------------------------------------------------------------------------
+
+NE2000_C = r"""
+/*MUTATE*/
+#define E8390_CMD 0x300
+#define EN0_STARTPG 0x301
+#define EN0_STOPPG 0x302
+#define EN0_BOUNDARY 0x303
+#define EN0_TPSR 0x304
+#define EN0_TCNTLO 0x305
+#define EN0_TCNTHI 0x306
+#define EN0_ISR 0x307
+#define EN0_RSARLO 0x308
+#define EN0_RSARHI 0x309
+#define EN0_RCNTLO 0x30a
+#define EN0_RCNTHI 0x30b
+#define EN0_RXCR 0x30c
+#define EN0_TXCR 0x30d
+#define EN0_DCFG 0x30e
+#define EN0_IMR 0x30f
+#define EN1_PHYS 0x301
+#define EN1_CURPAG 0x307
+#define NE_DATAPORT 0x310
+#define NE_RESET 0x31f
+
+#define E8390_STOP 0x01
+#define E8390_START 0x02
+#define E8390_TRANS 0x04
+#define E8390_RREAD 0x08
+#define E8390_RWRITE 0x10
+#define E8390_NODMA 0x20
+#define E8390_PAGE0 0x00
+#define E8390_PAGE1 0x40
+
+#define ENISR_RX 0x01
+#define ENISR_TX 0x02
+#define ENISR_RX_ERR 0x04
+#define ENISR_TX_ERR 0x08
+#define ENISR_OVER 0x10
+#define ENISR_COUNTERS 0x20
+#define ENISR_RDC 0x40
+#define ENISR_RESET 0x80
+#define ENISR_ALL 0x3f
+
+#define NESM_START_PG 0x40
+#define NESM_RX_START_PG 0x46
+#define NESM_STOP_PG 0x80
+
+void ne_reset_8390(void)
+{
+    outb(inb(NE_RESET), NE_RESET);
+}
+
+void ne_init_8390(unsigned char *mac)
+{
+    int i;
+    outb(E8390_STOP | E8390_NODMA | E8390_PAGE0, E8390_CMD);
+    outb(0x49, EN0_DCFG);
+    outb(0x00, EN0_RCNTLO);
+    outb(0x00, EN0_RCNTHI);
+    outb(0x04, EN0_RXCR);
+    outb(0x02, EN0_TXCR);
+    outb(NESM_START_PG, EN0_TPSR);
+    outb(NESM_RX_START_PG, EN0_STARTPG);
+    outb(NESM_RX_START_PG, EN0_BOUNDARY);
+    outb(NESM_STOP_PG, EN0_STOPPG);
+    outb(0xff, EN0_ISR);
+    outb(ENISR_ALL, EN0_IMR);
+    outb(E8390_STOP | E8390_NODMA | E8390_PAGE1, E8390_CMD);
+    for (i = 0; i < 6; i++)
+        outb(mac[i], EN1_PHYS + i);
+    outb(NESM_RX_START_PG, EN1_CURPAG);
+    outb(E8390_START | E8390_NODMA | E8390_PAGE0, E8390_CMD);
+    outb(0x00, EN0_TXCR);
+}
+
+void ne_remote_setup(int addr, int count, int write)
+{
+    outb(E8390_START | E8390_NODMA | E8390_PAGE0, E8390_CMD);
+    outb(count & 0xff, EN0_RCNTLO);
+    outb((count >> 8) & 0xff, EN0_RCNTHI);
+    outb(addr & 0xff, EN0_RSARLO);
+    outb((addr >> 8) & 0xff, EN0_RSARHI);
+    if (write)
+        outb(E8390_START | E8390_RWRITE | E8390_PAGE0, E8390_CMD);
+    else
+        outb(E8390_START | E8390_RREAD | E8390_PAGE0, E8390_CMD);
+}
+
+void ne_block_output(int addr, unsigned short *data, int count)
+{
+    ne_remote_setup(addr, count, 1);
+    outsw(NE_DATAPORT, data, count >> 1);
+    outb(ENISR_RDC, EN0_ISR);
+}
+
+void ne_block_input(int addr, unsigned short *data, int count)
+{
+    ne_remote_setup(addr, count, 0);
+    insw(NE_DATAPORT, data, count >> 1);
+    outb(ENISR_RDC, EN0_ISR);
+}
+
+void ne_start_xmit(unsigned short *frame, int length)
+{
+    ne_block_output(NESM_START_PG << 8, frame, length);
+    outb(NESM_START_PG, EN0_TPSR);
+    outb(length & 0xff, EN0_TCNTLO);
+    outb((length >> 8) & 0xff, EN0_TCNTHI);
+    outb(E8390_START | E8390_TRANS | E8390_NODMA, E8390_CMD);
+    outb(ENISR_TX, EN0_ISR);
+}
+
+int ne_rx_pending(void)
+{
+    int current;
+    int boundary;
+    outb(E8390_START | E8390_NODMA | E8390_PAGE1, E8390_CMD);
+    current = inb(EN1_CURPAG);
+    outb(E8390_START | E8390_NODMA | E8390_PAGE0, E8390_CMD);
+    boundary = inb(EN0_BOUNDARY);
+    if (boundary == current)
+        return -1;
+    return boundary;
+}
+
+int ne_receive(unsigned short *buf)
+{
+    int boundary;
+    int next;
+    int total;
+    unsigned short header[2];
+    boundary = ne_rx_pending();
+    if (boundary < 0) {
+        outb(ENISR_RX, EN0_ISR);
+        return 0;
+    }
+    ne_block_input(boundary << 8, header, 4);
+    next = header[0] >> 8;
+    total = header[1];
+    ne_block_input((boundary << 8) + 4, buf, total - 4);
+    outb(next, EN0_BOUNDARY);
+    return total - 4;
+}
+
+void ne_interrupt(void)
+{
+    int isr;
+    isr = inb(EN0_ISR);
+    if (isr & ENISR_OVER)
+        outb(ENISR_OVER, EN0_ISR);
+    if (isr & ENISR_RX_ERR)
+        outb(ENISR_RX_ERR, EN0_ISR);
+    if (isr & ENISR_COUNTERS)
+        outb(ENISR_COUNTERS, EN0_ISR);
+}
+/*END-MUTATE*/
+"""
+
+NE2000_CDEVIL = r"""
+/*MUTATE*/
+#define NESM_START_PG 0x40
+#define NESM_RX_START_PG 0x46
+#define NESM_STOP_PG 0x80
+
+void ne_reset_devil(void)
+{
+    ne_set_reset(0);
+}
+
+void ne_init_devil(unsigned char *mac)
+{
+    ne_set_st(NE_STOP);
+    ne_set_data_config(1, NE_LITTLE, 0, 0, 0, NE_FIFO8);
+    ne_set_remote_byte_count(0);
+    ne_set_receive_config(0, 0, 1, 0, 0, 0);
+    ne_set_transmit_config(0, NE_INTERNAL, 0, 0);
+    ne_set_tx_page_start(NESM_START_PG);
+    ne_set_page_start(NESM_RX_START_PG);
+    ne_set_boundary(NESM_RX_START_PG);
+    ne_set_page_stop(NESM_STOP_PG);
+    ne_set_interrupt_status(1, 1, 1, 1, 1, 1, 1, 1);
+    ne_set_interrupt_mask(1, 1, 1, 1, 1, 1, 1);
+    ne_set_physical_address0(mac[0]);
+    ne_set_physical_address1(mac[1]);
+    ne_set_physical_address2(mac[2]);
+    ne_set_physical_address3(mac[3]);
+    ne_set_physical_address4(mac[4]);
+    ne_set_physical_address5(mac[5]);
+    ne_set_current_page(NESM_RX_START_PG);
+    ne_set_st(NE_START);
+    ne_set_transmit_config(0, NE_NORMAL, 0, 0);
+}
+
+void ne_remote_write_devil(int addr, unsigned short *data, int count)
+{
+    ne_set_remote_byte_count(count);
+    ne_set_remote_start_address(addr);
+    ne_set_rd(NE_REMOTE_WRITE);
+    ne_write_dma_data_block(data, count >> 1);
+}
+
+void ne_remote_read_devil(int addr, unsigned short *data, int count)
+{
+    ne_set_remote_byte_count(count);
+    ne_set_remote_start_address(addr);
+    ne_set_rd(NE_REMOTE_READ);
+    ne_read_dma_data_block(data, count >> 1);
+}
+
+void ne_start_xmit_devil(unsigned short *frame, int length)
+{
+    ne_remote_write_devil(NESM_START_PG << 8, frame, length);
+    ne_set_tx_page_start(NESM_START_PG);
+    ne_set_tx_byte_count(length);
+    ne_set_txp(NE_TRANSMIT);
+}
+
+int ne_receive_devil(unsigned short *buf)
+{
+    int boundary;
+    int current;
+    int next;
+    int total;
+    unsigned short header[2];
+    current = ne_get_current_page();
+    boundary = ne_get_boundary();
+    if (boundary == current)
+        return 0;
+    ne_remote_read_devil(boundary << 8, header, 4);
+    next = header[0] >> 8;
+    total = header[1];
+    ne_remote_read_devil((boundary << 8) + 4, buf, total - 4);
+    ne_set_boundary(next);
+    return total - 4;
+}
+/*END-MUTATE*/
+"""
+
+
+def mutation_regions(source: str) -> list[tuple[int, int]]:
+    """Character ranges between the MUTATE markers."""
+    regions: list[tuple[int, int]] = []
+    position = 0
+    while True:
+        begin = source.find(MUTATE_BEGIN, position)
+        if begin < 0:
+            return regions
+        end = source.find(MUTATE_END, begin)
+        if end < 0:
+            raise ValueError("unterminated mutation region")
+        regions.append((begin + len(MUTATE_BEGIN), end))
+        position = end + len(MUTATE_END)

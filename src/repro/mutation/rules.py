@@ -1,0 +1,131 @@
+"""Mutation rules: single-character edits of program tokens.
+
+Per §4.2 of the paper, mutants are produced by *inserting, replacing or
+removing one character* of a token — the classes of error the
+DeMillo/Mathur study found to be both frequent and long-lived
+(typographic and inattention errors).  The rules are identical for
+every language in the comparison, which is what makes Table 1 a fair
+experiment: the same finger slip is applied to the C driver, the Devil
+specification and the stub-using CDevil code.
+
+Each token kind draws its edit characters from an alphabet of the same
+class (digits for numbers, letters matching the token's case for
+identifiers, operator glyphs for operators, mask characters for Devil
+bit patterns): a typo stays within the keyboard neighbourhood of the
+token, and — as the paper requires — most resulting programs remain
+syntactically valid, pushing the burden of detection onto semantic
+checking.
+
+``max_mutants_per_site`` bounds the per-site workload; selection is
+deterministic (seeded by the site), so every run of the analysis sees
+the same mutant population.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Token-class alphabets for insert/replace edits.
+DIGITS = "0123456789"
+HEX_DIGITS = "0123456789abcdef"
+LOWER = "abcdefghijklmnopqrstuvwxyz_"
+UPPER = "ABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+OPERATOR_CHARS = "+-*/%<>=!&|^~.@#"
+BITPATTERN_CHARS = "01.*-"
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One mutable token of the target program."""
+
+    kind: str          # "ident", "number", "operator", "bitpattern"
+    text: str
+    offset: int        # character offset of the token in the source
+    line: int
+
+    def key(self) -> str:
+        return f"{self.kind}:{self.text}@{self.offset}"
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One single-character edit of one site."""
+
+    site: MutationSite
+    mutated_token: str
+    description: str
+
+    def apply(self, source: str) -> str:
+        """Rewrite the source with the mutated token in place."""
+        start = self.site.offset
+        end = start + len(self.site.text)
+        return source[:start] + self.mutated_token + source[end:]
+
+
+def alphabet_for(site: MutationSite) -> str:
+    """Edit alphabet, matched to the token's character class."""
+    if site.kind == "number":
+        return HEX_DIGITS if site.text.lower().startswith("0x") else DIGITS
+    if site.kind == "ident":
+        letters = [c for c in site.text if c.isalpha()]
+        if letters and all(c.isupper() for c in letters):
+            return UPPER
+        return LOWER
+    if site.kind == "operator":
+        return OPERATOR_CHARS
+    if site.kind == "bitpattern":
+        return BITPATTERN_CHARS
+    raise ValueError(f"unknown site kind {site.kind!r}")
+
+
+def _all_edits(site: MutationSite) -> Iterator[Mutant]:
+    """Every removal, insertion and replacement, in a stable order."""
+    text = site.text
+    alphabet = alphabet_for(site)
+    # Number tokens keep their radix prefix intact: mutating '0x' into
+    # 'ax' is a lexical error, not a typo class the paper studies.
+    protected = 2 if (site.kind == "number"
+                      and text.lower().startswith("0x")) else 0
+    for index in range(protected, len(text)):
+        if len(text) > max(1, protected):
+            removed = text[:index] + text[index + 1:]
+            if removed != text:
+                yield Mutant(site, removed,
+                             f"remove {text[index]!r} at {index}")
+    for index in range(protected, len(text) + 1):
+        for char in alphabet:
+            inserted = text[:index] + char + text[index:]
+            yield Mutant(site, inserted, f"insert {char!r} at {index}")
+    for index in range(protected, len(text)):
+        for char in alphabet:
+            if char == text[index]:
+                continue
+            replaced = text[:index] + char + text[index + 1:]
+            yield Mutant(site, replaced, f"replace {text[index]!r} with "
+                                         f"{char!r} at {index}")
+
+
+def mutants_for_site(site: MutationSite,
+                     max_mutants: int | None = None) -> list[Mutant]:
+    """The mutant population of ``site``.
+
+    When ``max_mutants`` is given, a deterministic site-seeded sample of
+    that size is drawn (stratified over the full edit enumeration), so
+    partial runs measure the same population every time.
+    """
+    all_mutants = list(_all_edits(site))
+    # Distinct mutated tokens only (different edits can collide).
+    unique: dict[str, Mutant] = {}
+    for mutant in all_mutants:
+        unique.setdefault(mutant.mutated_token, mutant)
+    population = list(unique.values())
+    if max_mutants is None or len(population) <= max_mutants:
+        return population
+    seed = int.from_bytes(
+        hashlib.sha256(site.key().encode()).digest()[:8], "big")
+    stride = max(1, len(population) // max_mutants)
+    start = seed % stride
+    sample = population[start::stride][:max_mutants]
+    return sample

@@ -1,0 +1,38 @@
+"""Performance experiments: Tables 2, 3 and 4 of the paper.
+
+The drivers run for real against the simulated devices; the bus counts
+every access; :mod:`repro.perf.model` turns the counts into seconds
+with a handful of per-event costs calibrated once against the paper's
+testbed.  Who wins, by what factor, and where the gap closes all come
+out of the measured counts, not the calibration.
+"""
+
+from .ide_bench import (
+    IdeRunResult,
+    Table2Row,
+    format_table2,
+    run_ide_transfer,
+    run_table2,
+)
+from .model import CostModel
+from .permedia_bench import (
+    PermediaRow,
+    PermediaRunResult,
+    format_permedia_table,
+    run_permedia,
+    run_permedia_table,
+)
+
+__all__ = [
+    "CostModel",
+    "IdeRunResult",
+    "PermediaRow",
+    "PermediaRunResult",
+    "Table2Row",
+    "format_permedia_table",
+    "format_table2",
+    "run_ide_transfer",
+    "run_permedia",
+    "run_permedia_table",
+    "run_table2",
+]

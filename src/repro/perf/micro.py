@@ -1,0 +1,136 @@
+"""Micro-analysis of stub costs (§4.3) and the design-choice ablations.
+
+The paper's micro-analysis makes three claims this module measures
+directly on the simulated bus:
+
+1. a single Devil stub performs exactly the I/O of the hand-crafted
+   access (macro-inlined, "no execution overhead");
+2. the one penalty case: *independent* variables over a shared
+   register cost one I/O operation each, where hand-written code
+   composes them into one store;
+3. grouping volatile variables in a structure makes the grouped read
+   cheaper than member-by-member reads (and is what makes it
+   *consistent*).
+
+The ablation helpers are used by ``benchmarks/bench_ablation_*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bus import Bus
+from ..devices.busmouse import BusmouseModel
+from ..devices.busmouse import REGION_SIZE as MOUSE_REGION
+from ..devices.ide import IdeControlPort, IdeDiskModel
+from ..devices.ide import REGION_SIZE as IDE_REGION
+from ..specs import compile_shipped
+
+MOUSE_BASE = 0x23C
+IDE_BASE = 0x1F0
+IDE_CTRL = 0x3F6
+
+
+@dataclass
+class OpCount:
+    """I/O operations of one access pattern, both styles."""
+
+    pattern: str
+    hand_written: int
+    devil: int
+
+    @property
+    def overhead(self) -> int:
+        return self.devil - self.hand_written
+
+
+def _mouse_fixture(debug: bool = False):
+    bus = Bus()
+    mouse = BusmouseModel()
+    bus.map_device(MOUSE_BASE, MOUSE_REGION, mouse, "busmouse")
+    device = compile_shipped("busmouse").bind(bus, {"base": MOUSE_BASE},
+                                              debug=debug)
+    return bus, mouse, device
+
+
+def _ide_fixture(debug: bool = False):
+    bus = Bus()
+    disk = IdeDiskModel(total_sectors=16)
+    bus.map_device(IDE_BASE, IDE_REGION, disk, "ide")
+    bus.map_device(IDE_CTRL, 1, IdeControlPort(disk), "ide-ctrl")
+    device = compile_shipped("ide").bind(
+        bus, {"cmd": IDE_BASE, "data": IDE_BASE, "data32": IDE_BASE,
+              "ctrl": IDE_CTRL}, debug=debug)
+    return bus, disk, device
+
+
+def single_stub_op_count() -> OpCount:
+    """Claim 1: one stub call == one hand-crafted port operation."""
+    bus, _, device = _mouse_fixture()
+    before = bus.accounting.total_ops
+    device.set_config("CONFIGURATION")
+    devil_ops = bus.accounting.total_ops - before
+    before = bus.accounting.total_ops
+    bus.outb(0x91, MOUSE_BASE + 3)
+    hand_ops = bus.accounting.total_ops - before
+    return OpCount("write one register variable", hand_ops, devil_ops)
+
+
+def shared_register_op_count() -> OpCount:
+    """Claim 2: independent variables on one register cost one op each.
+
+    Hand-written code selects drive, head and LBA mode with a single
+    ``outb(0xE0 | ...)``; the Devil driver calls three stubs.
+    """
+    bus, _, device = _ide_fixture()
+    before = bus.accounting.total_ops
+    device.set_lba_mode(True)
+    device.set_drive("MASTER")
+    device.set_head(5)
+    devil_ops = bus.accounting.total_ops - before
+    before = bus.accounting.total_ops
+    bus.outb(0xE0 | 5, IDE_BASE + 6)
+    hand_ops = bus.accounting.total_ops - before
+    return OpCount("device/head register (3 independent variables)",
+                   hand_ops, devil_ops)
+
+
+def structure_grouping_op_count() -> tuple[int, int]:
+    """Claim 3: grouped structure read vs member-by-member reads.
+
+    Returns (grouped_ops, ungrouped_ops) for one full mouse state.
+    The ungrouped variant re-reads shared registers (``y_high`` twice)
+    and re-runs index pre-actions — more I/O *and* a consistency bug
+    (counters may move between reads), which is precisely why Devil
+    structures exist.
+    """
+    bus, mouse, device = _mouse_fixture()
+    mouse.move(3, 4)
+    before = bus.accounting.total_ops
+    device.get_mouse_state()
+    grouped = bus.accounting.total_ops - before
+
+    # Member-by-member: what a spec without the structure would do.
+    before = bus.accounting.total_ops
+    for variable in ("dx", "dy", "buttons"):
+        resolved = device.model.variables[variable]
+        raw = {}
+        for register in resolved.registers():
+            raw[register] = device.read_register(register)
+        device._assemble(resolved, raw)
+    ungrouped = bus.accounting.total_ops - before
+    return grouped, ungrouped
+
+
+def debug_mode_op_counts() -> tuple[int, int]:
+    """Debug-mode checks are CPU-side only: identical I/O either way."""
+    counts = []
+    for debug in (False, True):
+        bus, mouse, device = _mouse_fixture(debug=debug)
+        mouse.move(1, 1)
+        device.set_config("CONFIGURATION")
+        device.set_signature(0xA5)
+        device.get_signature()
+        device.get_mouse_state()
+        counts.append(bus.accounting.total_ops)
+    return counts[0], counts[1]

@@ -1,0 +1,185 @@
+"""Tables 3 and 4: Permedia2 Xfree86 driver throughput, standard vs Devil.
+
+An ``xbench``-style workload: for every display depth (8/16/24/32 bpp)
+and rectangle size (2×2, 10×10, 100×100, 400×400) the harness executes
+a batch of ``fill rectangle`` (Table 3) or ``screen area copy``
+(Table 4) primitives through both drivers, measures the per-primitive
+I/O operations (including the ``#w`` FIFO-poll iterations) and the
+pixels the engine touched, and converts to primitives/second with the
+MMIO cost model.
+
+The paper's shape to reproduce: the Devil driver issues two more MMIO
+stores per primitive (independent rect_x/rect_y/rect_width/rect_height
+variables over packed registers), which costs up to ~6 % on the
+smallest rectangles and nothing once drawing time dominates
+(≥ 100×100: 99–100 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bus import Bus
+from ..devices.permedia2 import Permedia2Aperture, Permedia2Model
+from ..devices.permedia2 import REGION_SIZE as PM2_REGION
+from ..drivers import CStylePermedia2Driver, DevilPermedia2Driver
+from .model import CostModel
+
+REGS_BASE = 0xF000_0000
+FB_BASE = 0xF100_0000
+
+SCREEN_WIDTH = 1024
+SCREEN_HEIGHT = 768
+
+DEPTHS = (8, 16, 24, 32)
+SIZES = (2, 10, 100, 400)
+
+#: Primitives per measurement batch.
+BATCH = 32
+
+
+@dataclass
+class PermediaRunResult:
+    """Measured outcome of one (driver, depth, size, primitive) cell."""
+
+    driver: str
+    primitive: str          # "fill" or "copy"
+    depth: int
+    size: int
+    batch: int
+    io_reads: int           # FIFO polls (the 3(#w) term)
+    io_writes: int          # drawing-register stores (the +15/+17 term)
+    pixels: int
+    bytes_touched: int
+    time_us: float
+
+    @property
+    def per_second(self) -> float:
+        if self.time_us <= 0:
+            return 0.0
+        return self.batch / (self.time_us / 1e6)
+
+    @property
+    def ops_per_primitive(self) -> float:
+        return (self.io_reads + self.io_writes) / self.batch
+
+    @property
+    def waits_per_primitive(self) -> float:
+        return self.io_reads / self.batch
+
+
+def _build_machine() -> tuple[Bus, Permedia2Model]:
+    bus = Bus()
+    gpu = Permedia2Model(width=SCREEN_WIDTH, height=SCREEN_HEIGHT)
+    bus.map_device(REGS_BASE, PM2_REGION, gpu, "permedia2")
+    bus.map_device(FB_BASE, 1, Permedia2Aperture(gpu), "permedia2-fb")
+    return bus, gpu
+
+
+def run_permedia(driver: str, primitive: str, depth: int, size: int,
+                 batch: int = BATCH,
+                 cost: CostModel | None = None) -> PermediaRunResult:
+    """Execute one cell of Table 3 (fill) or Table 4 (copy)."""
+    cost = cost or CostModel()
+    bus, gpu = _build_machine()
+    if driver == "standard":
+        drv: CStylePermedia2Driver | DevilPermedia2Driver = \
+            CStylePermedia2Driver(bus, REGS_BASE, FB_BASE)
+    elif driver == "devil":
+        drv = DevilPermedia2Driver(bus, REGS_BASE, FB_BASE, debug=False)
+    else:
+        raise ValueError(f"unknown driver {driver!r}")
+    drv.set_mode(depth, SCREEN_WIDTH, SCREEN_HEIGHT)
+
+    before = bus.accounting.snapshot()
+    pixels_before = gpu.pixels_filled + gpu.pixels_copied
+    bytes_before = gpu.bytes_touched
+    primitives_before = gpu.primitives
+    if primitive == "fill":
+        for index in range(batch):
+            x = (index * 7) % (SCREEN_WIDTH // 2)
+            y = (index * 5) % (SCREEN_HEIGHT // 2)
+            drv.fill_rect(x, y, size, size, 0x00CAFE00 + index)
+    elif primitive == "copy":
+        # Scroll-style copies: source sits `size + gap` to the right of
+        # the destination, both always on screen.
+        gap = 8
+        span_x = SCREEN_WIDTH - 2 * size - gap - 1
+        span_y = SCREEN_HEIGHT - size - 1
+        for index in range(batch):
+            dst_x = (index * 7) % max(span_x, 1)
+            dst_y = (index * 5) % max(span_y, 1)
+            src_x = dst_x + size + gap
+            src_y = dst_y
+            drv.screen_copy(src_x, src_y, dst_x, dst_y, size, size)
+    else:
+        raise ValueError(f"unknown primitive {primitive!r}")
+
+    delta = bus.accounting.delta(before)
+    pixels = gpu.pixels_filled + gpu.pixels_copied - pixels_before
+    bytes_touched = gpu.bytes_touched - bytes_before
+    primitives = gpu.primitives - primitives_before
+    if primitives != batch:
+        raise AssertionError(
+            f"engine executed {primitives} primitives, expected {batch}")
+    time_us = cost.mmio_time_us(delta)
+    if primitive == "fill":
+        time_us += cost.fill_time_us(bytes_touched)
+    else:
+        time_us += cost.copy_time_us(bytes_touched, primitives)
+    return PermediaRunResult(
+        driver=driver, primitive=primitive, depth=depth, size=size,
+        batch=batch, io_reads=delta.reads, io_writes=delta.writes,
+        pixels=pixels, bytes_touched=bytes_touched, time_us=time_us)
+
+
+@dataclass
+class PermediaRow:
+    """One comparison row of Table 3 or 4."""
+
+    primitive: str
+    depth: int
+    size: int
+    standard: PermediaRunResult
+    devil: PermediaRunResult
+
+    @property
+    def ratio(self) -> float:
+        return self.devil.per_second / self.standard.per_second
+
+
+def run_permedia_table(primitive: str, batch: int = BATCH,
+                       cost: CostModel | None = None,
+                       depths: tuple[int, ...] = DEPTHS,
+                       sizes: tuple[int, ...] = SIZES
+                       ) -> list[PermediaRow]:
+    """The full sweep of Table 3 (``fill``) or Table 4 (``copy``)."""
+    cost = cost or CostModel()
+    rows = []
+    for depth in depths:
+        for size in sizes:
+            standard = run_permedia("standard", primitive, depth, size,
+                                    batch, cost)
+            devil = run_permedia("devil", primitive, depth, size, batch,
+                                 cost)
+            rows.append(PermediaRow(primitive, depth, size, standard,
+                                    devil))
+    return rows
+
+
+def format_permedia_table(rows: list[PermediaRow]) -> str:
+    """Render in the shape of the paper's Tables 3/4."""
+    label = "rect" if rows and rows[0].primitive == "fill" else "copies"
+    header = (f"{'Depth':>5} {'Size':>9} {'Std ops/p':>10} "
+              f"{'Std ' + label + '/s':>13} {'Dev ops/p':>10} "
+              f"{'Dev ' + label + '/s':>13} {'Ratio':>7}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.depth:>5} {row.size:>4}x{row.size:<4} "
+            f"{row.standard.ops_per_primitive:>10.1f} "
+            f"{row.standard.per_second:>13.0f} "
+            f"{row.devil.ops_per_primitive:>10.1f} "
+            f"{row.devil.per_second:>13.0f} "
+            f"{row.ratio * 100:>6.0f}%")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Shipped Devil specifications.
+
+The paper's authors planned a public-domain library of Devil
+specifications for common PC devices; this package is that library for
+the reproduction.  Each ``.devil`` file is a complete specification
+accepted by the checker, covering the seven device classes the paper
+reports on (mouse, DMA, interrupt, Ethernet, sound, IDE disk, video).
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+
+from ..devil.compiler import CompiledSpec, compile_spec
+
+#: Names of every shipped specification (without the .devil suffix).
+SPEC_NAMES = (
+    "busmouse",
+    "dma8237",
+    "pic8259",
+    "ne2000",
+    "cs4236",
+    "ide",
+    "piix4",
+    "permedia2",
+)
+
+
+def load_source(name: str) -> str:
+    """Return the source text of the shipped specification ``name``."""
+    resource = importlib.resources.files(__package__).joinpath(
+        f"{name}.devil")
+    return resource.read_text(encoding="utf-8")
+
+
+def compile_shipped(name: str) -> CompiledSpec:
+    """Compile the shipped specification ``name``."""
+    return compile_spec(load_source(name), filename=f"{name}.devil")

@@ -1,0 +1,102 @@
+"""Shared fixtures: compiled specifications and simulated machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus import Bus
+from repro.devices.busmouse import REGION_SIZE as MOUSE_REGION
+from repro.devices.busmouse import BusmouseModel
+from repro.devices.ide import REGION_SIZE as IDE_REGION
+from repro.devices.ide import IdeControlPort, IdeDiskModel
+from repro.devices.ne2000 import REGION_SIZE as NE_REGION
+from repro.devices.ne2000 import (
+    Ne2000DataPort,
+    Ne2000Model,
+    Ne2000ResetPort,
+)
+from repro.devices.permedia2 import REGION_SIZE as PM2_REGION
+from repro.devices.permedia2 import Permedia2Aperture, Permedia2Model
+from repro.devices.piix4 import REGION_SIZE as BM_REGION
+from repro.devices.piix4 import Piix4Model
+from repro.specs import SPEC_NAMES, compile_shipped
+
+MOUSE_BASE = 0x23C
+IDE_BASE = 0x1F0
+IDE_CTRL = 0x3F6
+BM_BASE = 0xC000
+NE_BASE = 0x300
+NE_DATA = 0x310
+NE_RESET = 0x31F
+PM2_REGS = 0xF000
+PM2_FB = 0xF800
+
+_SPEC_CACHE: dict = {}
+
+
+def shipped_spec(name: str):
+    """Compile a shipped spec once per test session."""
+    if name not in _SPEC_CACHE:
+        _SPEC_CACHE[name] = compile_shipped(name)
+    return _SPEC_CACHE[name]
+
+
+@pytest.fixture(params=SPEC_NAMES)
+def spec_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def bus() -> Bus:
+    return Bus()
+
+
+@pytest.fixture
+def mouse_machine(bus):
+    """(bus, model, bound stubs) for the busmouse."""
+    mouse = BusmouseModel()
+    bus.map_device(MOUSE_BASE, MOUSE_REGION, mouse, "busmouse")
+    device = shipped_spec("busmouse").bind(bus, {"base": MOUSE_BASE})
+    return bus, mouse, device
+
+
+@pytest.fixture
+def ide_machine(bus):
+    """(bus, disk, busmaster, memory, ide stubs, piix4 stubs)."""
+    disk = IdeDiskModel(total_sectors=128)
+    for index in range(0, len(disk.store), 7):
+        disk.store[index] = (index * 13) & 0xFF
+    bus.map_device(IDE_BASE, IDE_REGION, disk, "ide")
+    bus.map_device(IDE_CTRL, 1, IdeControlPort(disk), "ide-ctrl")
+    memory = bytearray(1 << 18)
+    busmaster = Piix4Model(disk, memory)
+    bus.map_device(BM_BASE, BM_REGION, busmaster, "piix4")
+    ide_dev = shipped_spec("ide").bind(
+        bus, {"cmd": IDE_BASE, "data": IDE_BASE, "data32": IDE_BASE,
+              "ctrl": IDE_CTRL})
+    bm_dev = shipped_spec("piix4").bind(
+        bus, {"io": BM_BASE, "dtp": BM_BASE + 4})
+    return bus, disk, busmaster, memory, ide_dev, bm_dev
+
+
+@pytest.fixture
+def nic_machine(bus):
+    """(bus, nic model, bound stubs)."""
+    nic = Ne2000Model()
+    bus.map_device(NE_BASE, NE_REGION, nic, "ne2000")
+    bus.map_device(NE_DATA, 2, Ne2000DataPort(nic), "ne2000-data")
+    bus.map_device(NE_RESET, 1, Ne2000ResetPort(nic), "ne2000-reset")
+    device = shipped_spec("ne2000").bind(
+        bus, {"base": NE_BASE, "data": NE_DATA, "rst": NE_RESET})
+    return bus, nic, device
+
+
+@pytest.fixture
+def gpu_machine(bus):
+    """(bus, gpu model, bound stubs)."""
+    gpu = Permedia2Model(width=128, height=96)
+    bus.map_device(PM2_REGS, PM2_REGION, gpu, "permedia2")
+    bus.map_device(PM2_FB, 1, Permedia2Aperture(gpu), "permedia2-fb")
+    device = shipped_spec("permedia2").bind(
+        bus, {"regs": PM2_REGS, "fb": PM2_FB})
+    return bus, gpu, device

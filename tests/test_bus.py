@@ -1,0 +1,161 @@
+"""Unit tests for the simulated bus substrate."""
+
+import pytest
+
+from repro.bus import Bus, BusError, IoAccounting
+
+
+class Echo:
+    """Device returning offset+seed, recording writes."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self.writes = []
+
+    def io_read(self, offset, width):
+        return (self.seed + offset) & ((1 << width) - 1)
+
+    def io_write(self, offset, value, width):
+        self.writes.append((offset, value, width))
+
+
+class TestMapping:
+    def test_routing_by_base(self):
+        bus = Bus()
+        bus.map_device(0x100, 4, Echo(seed=1), "a")
+        bus.map_device(0x200, 4, Echo(seed=100), "b")
+        assert bus.inb(0x101) == 2
+        assert bus.inb(0x202) == 102
+
+    def test_overlapping_mappings_rejected(self):
+        bus = Bus()
+        bus.map_device(0x100, 8, Echo())
+        with pytest.raises(BusError):
+            bus.map_device(0x104, 8, Echo())
+
+    def test_unmapped_access_fails(self):
+        with pytest.raises(BusError):
+            Bus().inb(0x100)
+
+    def test_unmap_device(self):
+        bus = Bus()
+        device = Echo()
+        bus.map_device(0x100, 4, device)
+        bus.unmap_device(device)
+        with pytest.raises(BusError):
+            bus.inb(0x100)
+
+    def test_bad_mapping_parameters(self):
+        bus = Bus()
+        with pytest.raises(BusError):
+            bus.map_device(0x100, 0, Echo())
+        with pytest.raises(BusError):
+            bus.map_device(-1, 4, Echo())
+
+
+class TestAccessWidths:
+    def test_width_masking(self):
+        bus = Bus()
+        bus.map_device(0, 4, Echo(seed=0x1FF))
+        assert bus.inb(0) == 0xFF
+        assert bus.inw(0) == 0x1FF
+
+    def test_invalid_width(self):
+        bus = Bus()
+        bus.map_device(0, 4, Echo())
+        with pytest.raises(BusError):
+            bus.read(0, 12)
+
+    def test_outb_argument_order_is_value_port(self):
+        bus = Bus()
+        device = Echo()
+        bus.map_device(0x23C, 4, device)
+        bus.outb(0x91, 0x23F)
+        assert device.writes == [(3, 0x91, 8)]
+
+    def test_write_masks_value_to_width(self):
+        bus = Bus()
+        device = Echo()
+        bus.map_device(0, 4, device)
+        bus.outb(0x1FF, 0)
+        assert device.writes[0][1] == 0xFF
+
+
+class TestBlockTransfers:
+    def test_block_read_counts_one_operation(self):
+        bus = Bus()
+        bus.map_device(0, 2, Echo(seed=7))
+        values = bus.block_read(0, 10, 16)
+        assert values == [7] * 10
+        assert bus.accounting.block_ops == 1
+        assert bus.accounting.block_words == 10
+        assert bus.accounting.single_ops == 0
+
+    def test_block_write(self):
+        bus = Bus()
+        device = Echo()
+        bus.map_device(0, 2, device)
+        count = bus.block_write(0, [1, 2, 3], 16)
+        assert count == 3
+        assert [w[1] for w in device.writes] == [1, 2, 3]
+
+    def test_negative_count_rejected(self):
+        bus = Bus()
+        bus.map_device(0, 2, Echo())
+        with pytest.raises(BusError):
+            bus.block_read(0, -1, 16)
+
+
+class TestAccounting:
+    def test_counters(self):
+        bus = Bus()
+        bus.map_device(0, 4, Echo())
+        bus.inb(0)
+        bus.outw(1, 0)
+        bus.block_read(0, 4, 32)
+        accounting = bus.accounting
+        assert accounting.reads == 1
+        assert accounting.writes == 1
+        assert accounting.total_ops == 3
+        assert accounting.bus_transactions == 6
+        assert accounting.single_by_width == {8: 1, 16: 1}
+        assert accounting.block_words_by_width == {32: 4}
+
+    def test_snapshot_and_delta(self):
+        bus = Bus()
+        bus.map_device(0, 4, Echo())
+        bus.inb(0)
+        before = bus.accounting.snapshot()
+        bus.inb(0)
+        bus.outb(1, 0)
+        delta = bus.accounting.delta(before)
+        assert delta.reads == 1
+        assert delta.writes == 1
+        assert delta.single_by_width == {8: 2}
+
+    def test_reset(self):
+        accounting = IoAccounting(reads=3, writes=2)
+        accounting.reset()
+        assert accounting.total_ops == 0
+
+
+class TestTracing:
+    def test_trace_entries(self):
+        bus = Bus(tracing=True)
+        bus.map_device(0, 4, Echo(seed=5))
+        bus.inb(2)
+        bus.outb(9, 3)
+        assert [(e.op, e.port, e.value) for e in bus.trace] == \
+            [("r", 2, 7), ("w", 3, 9)]
+
+    def test_block_trace(self):
+        bus = Bus(tracing=True)
+        bus.map_device(0, 4, Echo())
+        bus.block_read(0, 2, 16)
+        assert [e.op for e in bus.trace] == ["rb", "rb"]
+
+    def test_tracing_off_by_default(self):
+        bus = Bus()
+        bus.map_device(0, 4, Echo())
+        bus.inb(0)
+        assert bus.trace == []

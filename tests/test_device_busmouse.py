@@ -1,0 +1,98 @@
+"""Behavioural tests for the Logitech busmouse model."""
+
+import pytest
+
+from repro.bus import BusError
+from repro.devices.busmouse import BusmouseModel
+
+
+class TestSignatureAndConfig:
+    def test_signature_echoes(self):
+        mouse = BusmouseModel()
+        mouse.io_write(1, 0xA5, 8)
+        assert mouse.io_read(1, 8) == 0xA5
+
+    def test_config_stored(self):
+        mouse = BusmouseModel()
+        mouse.io_write(3, 0x91, 8)
+        assert mouse.config == 0x91
+
+    def test_only_8bit_accesses(self):
+        mouse = BusmouseModel()
+        with pytest.raises(BusError):
+            mouse.io_read(1, 16)
+
+    def test_config_port_not_readable(self):
+        with pytest.raises(BusError):
+            BusmouseModel().io_read(3, 8)
+
+
+def read_nibbles(mouse):
+    """Drive the Figure 2 protocol by hand."""
+    values = {}
+    for name, selector in (("x_low", 0x80), ("x_high", 0xA0),
+                           ("y_low", 0xC0), ("y_high", 0xE0)):
+        mouse.io_write(2, selector, 8)
+        values[name] = mouse.io_read(0, 8)
+    return values
+
+
+class TestMotionProtocol:
+    def test_nibble_decomposition(self):
+        mouse = BusmouseModel()
+        mouse.move(0x35, -0x12)
+        nibbles = read_nibbles(mouse)
+        assert nibbles["x_low"] == 0x5
+        assert nibbles["x_high"] == 0x3
+        assert nibbles["y_low"] == (-0x12) & 0xF
+        assert nibbles["y_high"] & 0xF == ((-0x12) >> 4) & 0xF
+
+    def test_buttons_in_y_high_top_bits(self):
+        mouse = BusmouseModel()
+        mouse.set_buttons(0b101)
+        nibbles = read_nibbles(mouse)
+        assert nibbles["y_high"] >> 5 == 0b101
+
+    def test_counters_latched_during_cycle(self):
+        mouse = BusmouseModel()
+        mouse.interrupt_disabled = False
+        mouse.move(5, 0)
+        mouse.io_write(2, 0x80, 8)
+        first = mouse.io_read(0, 8)
+        mouse.move(3, 0)  # arrives mid-cycle
+        mouse.io_write(2, 0x80, 8)
+        second = mouse.io_read(0, 8)
+        assert first == second == 5
+
+    def test_interrupt_enable_closes_cycle(self):
+        mouse = BusmouseModel()
+        mouse.move(5, 0)
+        read_nibbles(mouse)
+        mouse.io_write(2, 0x00, 8)  # MSE_INT_ON
+        mouse.move(2, 0)
+        assert read_nibbles(mouse)["x_low"] == 2
+
+    def test_pending_motion_accumulates_across_cycle(self):
+        mouse = BusmouseModel()
+        mouse.move(5, 0)
+        read_nibbles(mouse)
+        mouse.move(3, 0)       # lands while cycle open
+        mouse.io_write(2, 0x00, 8)
+        assert read_nibbles(mouse)["x_low"] == 3
+
+    def test_interrupts_counted_when_enabled(self):
+        mouse = BusmouseModel()
+        mouse.io_write(2, 0x00, 8)
+        mouse.move(1, 1)
+        mouse.set_buttons(1)
+        assert mouse.interrupts_raised == 2
+
+    def test_no_interrupts_while_disabled(self):
+        mouse = BusmouseModel()
+        mouse.io_write(2, 0x10, 8)  # MSE_INT_OFF
+        mouse.move(1, 1)
+        assert mouse.interrupts_raised == 0
+
+    def test_button_range_validated(self):
+        with pytest.raises(ValueError):
+            BusmouseModel().set_buttons(8)

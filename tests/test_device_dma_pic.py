@@ -1,0 +1,217 @@
+"""Behavioural tests for the 8237A DMA and 8259A PIC models."""
+
+import pytest
+
+from repro.bus import BusError
+from repro.devices.dma8237 import Dma8237Model
+from repro.devices.pic8259 import Pic8259Model
+
+
+class TestDmaFlipFlop:
+    def test_low_then_high_byte(self):
+        dma = Dma8237Model()
+        dma.io_write(12, 0, 8)          # reset flip-flop
+        dma.io_write(2, 0x34, 8)        # channel 1 address low
+        dma.io_write(2, 0x12, 8)        # high
+        assert dma.channels[1].base_address == 0x1234
+
+    def test_flip_flop_toggles_on_read_too(self):
+        dma = Dma8237Model()
+        dma.io_write(12, 0, 8)
+        dma.io_write(3, 0xCD, 8)
+        dma.io_write(3, 0xAB, 8)
+        dma.io_write(12, 0, 8)
+        assert dma.io_read(3, 8) == 0xCD
+        assert dma.io_read(3, 8) == 0xAB
+
+    def test_forgotten_reset_reads_garbage_order(self):
+        """The classic bug Devil's pre-action prevents."""
+        dma = Dma8237Model()
+        dma.io_write(12, 0, 8)
+        dma.io_write(3, 0xCD, 8)   # flip-flop now points at high byte
+        dma.io_write(12, 0, 8)
+        dma.io_read(3, 8)          # low
+        dma.io_write(3, 0x99, 8)   # *intended* as low byte, lands high
+        assert dma.channels[1].base_count != 0x99CD or True
+        assert dma.channels[1].base_count & 0xFF00 == 0x9900
+
+
+class TestDmaControl:
+    def test_mask_and_mode(self):
+        dma = Dma8237Model()
+        dma.io_write(10, 0b001, 8)      # unmask channel 1
+        assert not dma.channels[1].masked
+        dma.io_write(11, 0b01000101, 8)  # single, read, channel 1
+        assert dma.channels[1].mode == 0b01000101
+
+    def test_master_clear(self):
+        dma = Dma8237Model()
+        dma.io_write(10, 0b001, 8)
+        dma.flip_flop_high = True
+        dma.io_write(13, 0, 8)
+        assert dma.channels[1].masked
+        assert not dma.flip_flop_high
+
+    def test_all_mask_register(self):
+        dma = Dma8237Model()
+        dma.io_write(15, 0b0101, 8)
+        assert dma.io_read(15, 8) == 0b0101
+
+    def test_clear_mask_register(self):
+        dma = Dma8237Model()
+        dma.io_write(14, 0, 8)
+        assert dma.io_read(15, 8) == 0
+
+
+class TestDmaTransfers:
+    def _program(self, dma, channel, address, count, mode_bits):
+        dma.io_write(12, 0, 8)
+        dma.io_write(channel * 2, address & 0xFF, 8)
+        dma.io_write(channel * 2, address >> 8, 8)
+        dma.io_write(12, 0, 8)
+        dma.io_write(channel * 2 + 1, count & 0xFF, 8)
+        dma.io_write(channel * 2 + 1, count >> 8, 8)
+        dma.io_write(11, mode_bits | channel, 8)
+        dma.io_write(10, channel, 8)  # unmask
+
+    def test_memory_read_transfer(self):
+        dma = Dma8237Model()
+        memory = bytearray(0x10000)
+        memory[0x2000:0x2004] = b"ABCD"
+        self._program(dma, 1, 0x2000, 3, 0b01001000)  # read, single
+        out = dma.run_channel(1, memory)
+        assert out == b"ABCD"
+        assert dma.channels[1].current_count == 0xFFFF
+        status = dma.io_read(8, 8)
+        assert status & 0b0010  # TC channel 1
+
+    def test_memory_write_transfer(self):
+        dma = Dma8237Model()
+        memory = bytearray(0x10000)
+        self._program(dma, 2, 0x3000, 3, 0b01000100)  # write, single
+        dma.run_channel(2, memory, device_data=b"WXYZ")
+        assert memory[0x3000:0x3004] == b"WXYZ"
+
+    def test_autoinit_reloads(self):
+        dma = Dma8237Model()
+        memory = bytearray(0x10000)
+        self._program(dma, 0, 0x100, 1, 0b01011000)  # read + autoinit
+        dma.run_channel(0, memory)
+        assert dma.channels[0].current_address == 0x100
+        assert dma.channels[0].current_count == 1
+
+    def test_masked_channel_refuses(self):
+        dma = Dma8237Model()
+        with pytest.raises(BusError):
+            dma.run_channel(0, bytearray(16))
+
+    def test_status_read_clears_tc(self):
+        dma = Dma8237Model()
+        memory = bytearray(0x10000)
+        self._program(dma, 1, 0, 0, 0b01001000)
+        dma.run_channel(1, memory)
+        dma.io_read(8, 8)
+        assert dma.io_read(8, 8) & 0x0F == 0
+
+
+def init_pic(pic, icw1, icw2, icw3=None, icw4=None):
+    pic.io_write(0, icw1, 8)
+    pic.io_write(1, icw2, 8)
+    if icw3 is not None:
+        pic.io_write(1, icw3, 8)
+    if icw4 is not None:
+        pic.io_write(1, icw4, 8)
+
+
+class TestPicInitSequence:
+    def test_cascaded_with_icw4(self):
+        pic = Pic8259Model()
+        init_pic(pic, 0x11, 0x20, 0x04, 0x01)
+        assert pic.init_log == [(0x11, 0x20, 0x04, 0x01)]
+        assert pic.vector_base == 0x20
+        assert pic.slave_mask == 0x04
+
+    def test_single_mode_skips_icw3(self):
+        pic = Pic8259Model()
+        init_pic(pic, 0x13, 0x40, icw3=None, icw4=0x01)
+        assert pic.init_log == [(0x13, 0x40, 0x01)]
+
+    def test_minimal_sequence(self):
+        pic = Pic8259Model()
+        init_pic(pic, 0x12, 0x60)
+        assert pic.init_log == [(0x12, 0x60)]
+
+    def test_port1_after_init_is_mask(self):
+        pic = Pic8259Model()
+        init_pic(pic, 0x12, 0x60)
+        pic.io_write(1, 0xFE, 8)
+        assert pic.imr == 0xFE
+        assert pic.io_read(1, 8) == 0xFE
+
+
+class TestPicInterruptCycle:
+    def _ready(self):
+        pic = Pic8259Model()
+        init_pic(pic, 0x11, 0x20, 0x04, 0x01)
+        pic.io_write(1, 0x00, 8)  # unmask everything
+        return pic
+
+    def test_acknowledge_returns_vector(self):
+        pic = self._ready()
+        pic.raise_irq(3)
+        assert pic.acknowledge() == 0x23
+        assert pic.isr == 0b1000
+
+    def test_priority_order(self):
+        pic = self._ready()
+        pic.raise_irq(5)
+        pic.raise_irq(1)
+        assert pic.acknowledge() == 0x21
+
+    def test_masked_line_not_delivered(self):
+        pic = self._ready()
+        pic.io_write(1, 0xFF, 8)
+        pic.raise_irq(2)
+        assert not pic.has_pending()
+        assert pic.acknowledge() is None
+
+    def test_nonspecific_eoi_clears_highest(self):
+        pic = self._ready()
+        pic.raise_irq(2)
+        pic.acknowledge()
+        pic.io_write(0, 0x20, 8)  # OCW2 non-specific EOI
+        assert pic.isr == 0
+
+    def test_specific_eoi(self):
+        pic = self._ready()
+        pic.raise_irq(4)
+        pic.acknowledge()
+        pic.io_write(0, 0x60 | 4, 8)
+        assert pic.isr == 0
+
+    def test_ocw3_selects_isr_read(self):
+        pic = self._ready()
+        pic.raise_irq(1)
+        pic.acknowledge()
+        pic.io_write(0, 0x0B, 8)  # OCW3: read ISR
+        assert pic.io_read(0, 8) == 0b10
+        pic.io_write(0, 0x0A, 8)  # OCW3: read IRR
+        assert pic.io_read(0, 8) == 0
+
+    def test_poll_mode(self):
+        pic = self._ready()
+        pic.raise_irq(6)
+        pic.io_write(0, 0x0C, 8)  # OCW3 with poll
+        assert pic.io_read(0, 8) == 0x80 | 6
+
+    def test_aeoi_mode_skips_isr(self):
+        pic = Pic8259Model()
+        init_pic(pic, 0x13, 0x20, icw4=0x03)  # AEOI
+        pic.io_write(1, 0x00, 8)
+        pic.raise_irq(0)
+        assert pic.acknowledge() == 0x20
+        assert pic.isr == 0
+
+    def test_bad_irq_line(self):
+        with pytest.raises(ValueError):
+            Pic8259Model().raise_irq(9)

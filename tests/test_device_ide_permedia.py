@@ -1,0 +1,279 @@
+"""Behavioural tests for the IDE/PIIX4 and Permedia2 models."""
+
+import numpy as np
+import pytest
+
+from repro.bus import BusError
+from repro.devices.ide import (
+    CMD_READ_DMA,
+    CMD_READ_MULTIPLE,
+    CMD_READ_SECTORS,
+    CMD_SET_MULTIPLE,
+    CMD_WRITE_SECTORS,
+    DRQ,
+    ERR,
+    IdeControlPort,
+    IdeDiskModel,
+    SECTOR_SIZE,
+)
+from repro.devices.permedia2 import (
+    FIFO_DEPTH,
+    Permedia2Aperture,
+    Permedia2Model,
+)
+from repro.devices.piix4 import Piix4Model
+
+
+def make_disk(sectors=32):
+    disk = IdeDiskModel(total_sectors=sectors)
+    for index in range(len(disk.store)):
+        disk.store[index] = (index * 7 + index // SECTOR_SIZE) & 0xFF
+    return disk
+
+
+def issue(disk, command, lba=0, count=1):
+    disk.io_write(2, count, 8)
+    disk.io_write(3, lba & 0xFF, 8)
+    disk.io_write(4, (lba >> 8) & 0xFF, 8)
+    disk.io_write(5, (lba >> 16) & 0xFF, 8)
+    disk.io_write(6, 0xE0 | ((lba >> 24) & 0xF), 8)
+    disk.io_write(7, command, 8)
+
+
+def drain_words(disk, words, width=16):
+    return [disk.io_read(0, width) for _ in range(words)]
+
+
+class TestIdePio:
+    def test_read_one_sector(self):
+        disk = make_disk()
+        issue(disk, CMD_READ_SECTORS, lba=2, count=1)
+        assert disk.status & DRQ
+        assert disk.interrupts_raised == 1
+        words = drain_words(disk, 256)
+        expected = disk.store[2 * SECTOR_SIZE:3 * SECTOR_SIZE]
+        got = b"".join(w.to_bytes(2, "little") for w in words)
+        assert got == bytes(expected)
+        assert not disk.status & DRQ
+
+    def test_read_interrupt_per_sector(self):
+        disk = make_disk()
+        issue(disk, CMD_READ_SECTORS, lba=0, count=3)
+        for _ in range(3):
+            drain_words(disk, 256)
+        assert disk.interrupts_raised == 3
+
+    def test_read_multiple_interrupt_per_block(self):
+        disk = make_disk()
+        issue(disk, CMD_SET_MULTIPLE, count=4)
+        issue(disk, CMD_READ_MULTIPLE, lba=0, count=8)
+        drain_words(disk, 256 * 8)
+        assert disk.interrupts_raised == 2
+
+    def test_32bit_data_access(self):
+        disk = make_disk()
+        issue(disk, CMD_READ_SECTORS, lba=1, count=1)
+        values = drain_words(disk, 128, width=32)
+        got = b"".join(v.to_bytes(4, "little") for v in values)
+        assert got == bytes(disk.store[SECTOR_SIZE:2 * SECTOR_SIZE])
+
+    def test_write_sector(self):
+        disk = make_disk()
+        issue(disk, CMD_WRITE_SECTORS, lba=4, count=1)
+        assert disk.interrupts_raised == 0  # first write DRQ silent
+        payload = bytes((i * 3) & 0xFF for i in range(SECTOR_SIZE))
+        for i in range(0, SECTOR_SIZE, 2):
+            word = payload[i] | (payload[i + 1] << 8)
+            disk.io_write(0, word, 16)
+        assert disk.store[4 * SECTOR_SIZE:5 * SECTOR_SIZE] == payload
+        assert disk.interrupts_raised == 1
+
+    def test_data_read_without_drq(self):
+        with pytest.raises(BusError):
+            make_disk().io_read(0, 16)
+
+    def test_beyond_end_of_disk(self):
+        disk = make_disk(sectors=4)
+        with pytest.raises(BusError):
+            issue(disk, CMD_READ_SECTORS, lba=3, count=2)
+        assert disk.status & ERR
+
+    def test_unknown_command_aborts(self):
+        disk = make_disk()
+        issue(disk, 0xFF)
+        assert disk.status & ERR
+        assert disk.error == 0x04
+
+    def test_status_read_acks_interrupt(self):
+        disk = make_disk()
+        issue(disk, CMD_READ_SECTORS, count=1)
+        assert disk.irq_pending
+        disk.io_read(7, 8)
+        assert not disk.irq_pending
+
+    def test_alternate_status_does_not_ack(self):
+        disk = make_disk()
+        port = IdeControlPort(disk)
+        issue(disk, CMD_READ_SECTORS, count=1)
+        port.io_read(0, 8)
+        assert disk.irq_pending
+
+    def test_soft_reset(self):
+        disk = make_disk()
+        issue(disk, CMD_READ_SECTORS, count=1)
+        IdeControlPort(disk).io_write(0, 0b100, 8)
+        assert not disk.status & DRQ
+
+    def test_identify_block(self):
+        disk = make_disk()
+        disk.io_write(7, 0xEC, 8)
+        words = drain_words(disk, 256)
+        blob = b"".join(w.to_bytes(2, "little") for w in words)
+        assert b"EDIVL" in blob or b"DEVIL" in bytes(
+            blob[54 + i] for i in (1, 0, 3, 2, 5, 4))
+        assert words[60] | (words[61] << 16) == disk.total_sectors
+
+
+class TestPiix4Dma:
+    def _machine(self):
+        disk = make_disk()
+        memory = bytearray(1 << 16)
+        busmaster = Piix4Model(disk, memory)
+        return disk, memory, busmaster
+
+    def _prd(self, memory, prd_at, address, count, last=True):
+        memory[prd_at:prd_at + 4] = address.to_bytes(4, "little")
+        memory[prd_at + 4:prd_at + 6] = (count & 0xFFFF).to_bytes(
+            2, "little")
+        flags = 0x8000 if last else 0
+        memory[prd_at + 6:prd_at + 8] = flags.to_bytes(2, "little")
+
+    def test_read_dma_single_prd(self):
+        disk, memory, busmaster = self._machine()
+        self._prd(memory, 0x8000, 0x1000, 2 * SECTOR_SIZE)
+        issue(disk, CMD_READ_DMA, lba=1, count=2)
+        busmaster.io_write(4, 0x8000, 32)
+        busmaster.io_write(0, 0x09, 8)  # start, to memory
+        assert memory[0x1000:0x1000 + 2 * SECTOR_SIZE] == \
+            disk.store[SECTOR_SIZE:3 * SECTOR_SIZE]
+        assert busmaster.io_read(2, 8) & 0b100  # irq bit
+        assert disk.interrupts_raised == 1
+
+    def test_scattered_prd_table(self):
+        disk, memory, busmaster = self._machine()
+        self._prd(memory, 0x8000, 0x1000, SECTOR_SIZE, last=False)
+        self._prd(memory, 0x8008, 0x4000, SECTOR_SIZE, last=True)
+        issue(disk, CMD_READ_DMA, lba=0, count=2)
+        busmaster.io_write(4, 0x8000, 32)
+        busmaster.io_write(0, 0x09, 8)
+        assert memory[0x1000:0x1000 + SECTOR_SIZE] == \
+            disk.store[0:SECTOR_SIZE]
+        assert memory[0x4000:0x4000 + SECTOR_SIZE] == \
+            disk.store[SECTOR_SIZE:2 * SECTOR_SIZE]
+
+    def test_direction_mismatch_sets_error(self):
+        disk, memory, busmaster = self._machine()
+        self._prd(memory, 0x8000, 0x1000, SECTOR_SIZE)
+        issue(disk, CMD_READ_DMA, lba=0, count=1)
+        busmaster.io_write(4, 0x8000, 32)
+        busmaster.io_write(0, 0x01, 8)  # start, wrong direction
+        assert busmaster.io_read(2, 8) & 0b010
+
+    def test_start_without_request_sets_error(self):
+        _, _, busmaster = self._machine()
+        busmaster.io_write(0, 0x09, 8)
+        assert busmaster.io_read(2, 8) & 0b010
+
+    def test_status_write_one_to_clear(self):
+        disk, memory, busmaster = self._machine()
+        self._prd(memory, 0x8000, 0x1000, SECTOR_SIZE)
+        issue(disk, CMD_READ_DMA, lba=0, count=1)
+        busmaster.io_write(4, 0x8000, 32)
+        busmaster.io_write(0, 0x09, 8)
+        busmaster.io_write(2, 0b110, 8)
+        assert busmaster.io_read(2, 8) & 0b110 == 0
+
+
+class TestPermedia2:
+    def _gpu(self):
+        return Permedia2Model(width=64, height=48, drain_per_poll=32)
+
+    def test_fill_rect(self):
+        gpu = self._gpu()
+        gpu.io_write(1, 0xAB, 32)          # color
+        gpu.io_write(2, (4 << 16) | 2, 32)  # origin x=2 y=4
+        gpu.io_write(3, (3 << 16) | 5, 32)  # size 5x3
+        gpu.io_write(5, 0b01, 32)           # render fill
+        assert gpu.framebuffer[4, 2] == 0xAB
+        assert gpu.framebuffer[6, 6] == 0xAB
+        assert gpu.framebuffer[7, 2] == 0
+        assert gpu.pixels_filled == 15
+
+    def test_copy_rect(self):
+        gpu = self._gpu()
+        gpu.framebuffer[10:12, 20:22] = 7
+        gpu.io_write(4, (0 << 16) | ((20 - 5) & 0xFFFF), 32)  # dx=15
+        gpu.io_write(2, (10 << 16) | 5, 32)
+        gpu.io_write(3, (2 << 16) | 2, 32)
+        gpu.io_write(5, 0b10, 32)
+        assert np.all(gpu.framebuffer[10:12, 5:7] == 7)
+
+    def test_scissor_clips(self):
+        gpu = self._gpu()
+        gpu.io_write(8, 0, 32)
+        gpu.io_write(9, (10 << 16) | 10, 32)
+        gpu.io_write(1, 5, 32)
+        gpu.io_write(2, 0, 32)
+        gpu.io_write(3, (20 << 16) | 20, 32)
+        gpu.io_write(5, 0b01, 32)
+        assert gpu.pixels_filled == 100
+
+    def test_fifo_space_drains(self):
+        gpu = Permedia2Model(width=64, height=48, drain_per_poll=4)
+        for _ in range(10):
+            gpu.io_write(1, 0, 32)
+        first = gpu.io_read(0, 32)
+        second = gpu.io_read(0, 32)
+        assert first == FIFO_DEPTH - 6
+        assert second == FIFO_DEPTH - 2
+
+    def test_fifo_overflow_counted(self):
+        gpu = Permedia2Model(width=64, height=48, drain_per_poll=0)
+        for _ in range(FIFO_DEPTH + 3):
+            gpu.io_write(1, 0, 32)
+        assert gpu.fifo_overflows == 3
+
+    def test_bytes_touched_scales_with_depth(self):
+        gpu = self._gpu()
+        gpu.io_write(7, 0b11, 32)  # 32 bpp
+        gpu.io_write(2, 0, 32)
+        gpu.io_write(3, (2 << 16) | 2, 32)
+        gpu.io_write(5, 0b01, 32)
+        assert gpu.bytes_touched == 16
+
+    def test_aperture_autoincrement(self):
+        gpu = self._gpu()
+        aperture = Permedia2Aperture(gpu)
+        gpu.io_write(13, 64, 32)  # start of row 1
+        aperture.io_write(0, 11, 32)
+        aperture.io_write(0, 22, 32)
+        assert gpu.framebuffer[1, 0] == 11
+        assert gpu.framebuffer[1, 1] == 22
+
+    def test_aperture_out_of_range(self):
+        gpu = self._gpu()
+        gpu.io_write(13, 64 * 48, 32)
+        with pytest.raises(BusError):
+            Permedia2Aperture(gpu).io_read(0, 32)
+
+    def test_copy_source_out_of_bounds(self):
+        gpu = self._gpu()
+        gpu.io_write(4, 60, 32)  # dx too far right
+        gpu.io_write(2, 10, 32)
+        gpu.io_write(3, (2 << 16) | 10, 32)
+        with pytest.raises(BusError):
+            gpu.io_write(5, 0b10, 32)
+
+    def test_only_32bit_accesses(self):
+        with pytest.raises(BusError):
+            self._gpu().io_read(0, 8)

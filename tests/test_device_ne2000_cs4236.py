@@ -1,0 +1,215 @@
+"""Behavioural tests for the NE2000 and CS4236B models."""
+
+import pytest
+
+from repro.bus import BusError
+from repro.devices.cs4236 import CHIP_ID, VERSION_ID, Cs4236Model
+from repro.devices.ne2000 import (
+    Ne2000DataPort,
+    Ne2000Model,
+    Ne2000ResetPort,
+    PAGE_SIZE,
+    RAM_BASE,
+)
+
+
+class TestNe2000CommandRegister:
+    def test_page_select(self):
+        nic = Ne2000Model()
+        nic.io_write(0, 0x62, 8)  # START | NODMA | page 1
+        assert nic.page == 1
+        assert nic.io_read(1, 8) == nic.mac[0]
+
+    def test_start_stop_bits(self):
+        nic = Ne2000Model()
+        nic.io_write(0, 0x02, 8)
+        assert nic.running
+        nic.io_write(0, 0x01, 8)
+        assert not nic.running
+
+    def test_neutral_st_preserves_state(self):
+        nic = Ne2000Model()
+        nic.io_write(0, 0x02, 8)
+        nic.io_write(0, 0x20, 8)   # NODMA, st bits 00
+        assert nic.running
+
+    def test_cr_readback(self):
+        nic = Ne2000Model()
+        nic.io_write(0, 0x62, 8)
+        assert nic.io_read(0, 8) & 0b11 == 0b10
+        assert nic.io_read(0, 8) >> 6 == 1
+
+
+class TestNe2000RemoteDma:
+    def _setup_write(self, nic, address, count):
+        nic.io_write(0, 0x22, 8)  # start, page 0
+        nic.io_write(10, count & 0xFF, 8)
+        nic.io_write(11, count >> 8, 8)
+        nic.io_write(8, address & 0xFF, 8)
+        nic.io_write(9, address >> 8, 8)
+        nic.io_write(0, 0x12, 8)  # remote write
+
+    def test_word_write_and_read(self):
+        nic = Ne2000Model()
+        self._setup_write(nic, RAM_BASE, 4)
+        nic.data_port_write(0x3412, 16)
+        nic.data_port_write(0x7856, 16)
+        assert nic.ram[0:4] == bytes([0x12, 0x34, 0x56, 0x78])
+        assert nic.isr & 0x40  # RDC
+
+    def test_read_without_command_fails(self):
+        with pytest.raises(BusError):
+            Ne2000Model().data_port_read(16)
+
+    def test_out_of_window_address(self):
+        nic = Ne2000Model()
+        self._setup_write(nic, 0x0000, 2)  # below RAM_BASE
+        with pytest.raises(BusError):
+            nic.data_port_write(1, 16)
+
+
+class TestNe2000Frames:
+    def _running(self):
+        nic = Ne2000Model()
+        nic.page_start = nic.boundary = nic.current = 0x46
+        nic.page_stop = 0x80
+        nic.io_write(0, 0x22, 8)
+        return nic
+
+    def test_transmit(self):
+        nic = self._running()
+        frame = bytes(range(60))
+        nic.ram[0:60] = frame   # tx buffer at page 0x40
+        nic.io_write(4, 0x40, 8)
+        nic.io_write(5, 60, 8)
+        nic.io_write(6, 0, 8)
+        nic.io_write(0, 0x26, 8)  # TXP
+        assert nic.transmitted == [frame]
+        assert nic.isr & 0x02
+
+    def test_transmit_while_stopped_rejected(self):
+        nic = Ne2000Model()
+        with pytest.raises(BusError):
+            nic.io_write(0, 0x05, 8)  # TXP + STOP... stop wins
+            nic.io_write(0, 0x04 | 0x02, 8)
+
+    def test_receive_builds_header(self):
+        nic = self._running()
+        assert nic.receive_frame(b"x" * 60)
+        start = (0x46 * PAGE_SIZE) - RAM_BASE
+        header = nic.ram[start:start + 4]
+        assert header[0] == 0x01
+        assert header[2] | (header[3] << 8) == 64
+        assert nic.current == header[1]
+        assert nic.isr & 0x01
+
+    def test_receive_wraps_ring(self):
+        nic = self._running()
+        nic.current = 0x7F   # write pointer at the last ring page
+        nic.boundary = 0x7E  # driver has consumed everything before it
+        assert nic.receive_frame(b"y" * 300)
+        assert nic.current == 0x46 + (0x7F + 2 - 0x80)
+
+    def test_ring_overflow_sets_ovw(self):
+        nic = self._running()
+        nic.page_stop = 0x48  # tiny two-page ring
+        assert not nic.receive_frame(b"z" * 400)
+        assert nic.isr & 0x10
+
+    def test_stopped_nic_drops_frames(self):
+        nic = Ne2000Model()
+        assert not nic.receive_frame(b"q" * 60)
+
+    def test_isr_write_one_to_clear(self):
+        nic = self._running()
+        nic.receive_frame(b"x" * 60)
+        nic.io_write(7, 0x01, 8)
+        assert nic.io_read(7, 8) & 0x01 == 0
+
+
+class TestNe2000Adapters:
+    def test_reset_port(self):
+        nic = Ne2000Model()
+        nic.io_write(0, 0x22, 8)
+        port = Ne2000ResetPort(nic)
+        port.io_read(0, 8)
+        assert nic.resets == 1
+        assert not nic.running
+        assert nic.isr & 0x80
+
+    def test_data_port_adapter_offset_checked(self):
+        adapter = Ne2000DataPort(Ne2000Model())
+        with pytest.raises(BusError):
+            adapter.io_read(1, 16)
+
+
+class TestCs4236Indexed:
+    def test_index_then_data(self):
+        chip = Cs4236Model()
+        chip.io_write(0, 6, 8)
+        chip.io_write(1, 0x3F, 8)
+        assert chip.indexed[6] == 0x3F
+        assert chip.io_read(1, 8) == 0x3F
+
+    def test_chip_id_preloaded(self):
+        chip = Cs4236Model()
+        chip.io_write(0, 12, 8)
+        assert chip.io_read(1, 8) & 0x0F == CHIP_ID
+
+    def test_mce_bit(self):
+        chip = Cs4236Model()
+        chip.io_write(0, 0x40 | 3, 8)
+        assert chip.mode_change_enable
+        assert chip.io_read(0, 8) & 0x40
+
+
+class TestCs4236ExtendedAutomaton:
+    def _select_extended(self, chip, xa):
+        chip.io_write(0, 23, 8)
+        value = 0b1000  # XRAE
+        value |= ((xa >> 4) & 1) << 2
+        value |= (xa & 0xF) << 4
+        chip.io_write(1, value, 8)
+
+    def test_xrae_enters_extended_mode(self):
+        chip = Cs4236Model()
+        self._select_extended(chip, 2)
+        assert chip.extended_mode
+        assert chip.extended_address == 2
+
+    def test_extended_data_access(self):
+        chip = Cs4236Model()
+        self._select_extended(chip, 2)
+        chip.io_write(1, 0x55, 8)
+        assert chip.extended[2] == 0x55
+        assert chip.io_read(1, 8) == 0x55
+
+    def test_x25_version(self):
+        chip = Cs4236Model()
+        self._select_extended(chip, 25)
+        assert chip.io_read(1, 8) == VERSION_ID
+
+    def test_control_write_restores_address_mode(self):
+        chip = Cs4236Model()
+        self._select_extended(chip, 2)
+        chip.io_write(0, 23, 8)   # any control write
+        assert not chip.extended_mode
+        chip.io_write(1, 0b0001, 8)  # ACF only, XRAE clear
+        assert chip.indexed[23] & 1 == 1
+        assert not chip.extended_mode
+
+    def test_i23_bit1_always_zero(self):
+        chip = Cs4236Model()
+        chip.io_write(0, 23, 8)
+        chip.io_write(1, 0b11, 8)
+        assert chip.indexed[23] & 0b10 == 0
+
+    def test_nonexistent_extended_register(self):
+        chip = Cs4236Model()
+        self._select_extended(chip, 20)
+        with pytest.raises(BusError):
+            chip.io_read(1, 8)
+
+    def test_bad_offset(self):
+        with pytest.raises(BusError):
+            Cs4236Model().io_read(2, 8)

@@ -1,0 +1,298 @@
+"""Driver-pair tests: C-style and Devil drivers must behave identically.
+
+These are the functional underpinning of Tables 2–4: any throughput
+comparison is meaningless unless both drivers provoke the same device
+behaviour.  Each test runs the same scenario through both drivers on
+fresh machines and compares outcomes (and, where the paper quantifies
+it, the I/O-operation difference).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bus import Bus
+from repro.devices.busmouse import REGION_SIZE as MOUSE_REGION
+from repro.devices.busmouse import BusmouseModel
+from repro.devices.ide import REGION_SIZE as IDE_REGION
+from repro.devices.ide import IdeControlPort, IdeDiskModel, SECTOR_SIZE
+from repro.devices.ne2000 import REGION_SIZE as NE_REGION
+from repro.devices.ne2000 import (
+    Ne2000DataPort,
+    Ne2000Model,
+    Ne2000ResetPort,
+)
+from repro.devices.permedia2 import REGION_SIZE as PM2_REGION
+from repro.devices.permedia2 import Permedia2Aperture, Permedia2Model
+from repro.devices.piix4 import REGION_SIZE as BM_REGION
+from repro.devices.piix4 import Piix4Model
+from repro.drivers import (
+    CStyleBusmouseDriver,
+    CStyleIdeDriver,
+    CStyleNe2000Driver,
+    CStylePermedia2Driver,
+    DevilBusmouseDriver,
+    DevilIdeDriver,
+    DevilNe2000Driver,
+    DevilPermedia2Driver,
+)
+
+MOUSE_DRIVERS = [CStyleBusmouseDriver, DevilBusmouseDriver]
+IDE_DRIVERS = [CStyleIdeDriver, DevilIdeDriver]
+NIC_DRIVERS = [CStyleNe2000Driver, DevilNe2000Driver]
+GPU_DRIVERS = [CStylePermedia2Driver, DevilPermedia2Driver]
+
+
+def mouse_machine(driver_cls):
+    bus = Bus()
+    mouse = BusmouseModel()
+    bus.map_device(0x23C, MOUSE_REGION, mouse, "busmouse")
+    return bus, mouse, driver_cls(bus, 0x23C)
+
+
+class TestBusmouseDrivers:
+    @pytest.mark.parametrize("driver_cls", MOUSE_DRIVERS)
+    def test_probe(self, driver_cls):
+        _, mouse, driver = mouse_machine(driver_cls)
+        assert driver.probe()
+        assert mouse.config == 0x90  # left in default mode
+
+    @pytest.mark.parametrize("driver_cls", MOUSE_DRIVERS)
+    def test_event_roundtrip(self, driver_cls):
+        _, mouse, driver = mouse_machine(driver_cls)
+        driver.enable_interrupts()
+        mouse.move(-7, 3)
+        mouse.set_buttons(0b010)
+        assert driver.read_event() == (-7, 3, 0b010)
+
+    @pytest.mark.parametrize("driver_cls", MOUSE_DRIVERS)
+    def test_consecutive_events(self, driver_cls):
+        _, mouse, driver = mouse_machine(driver_cls)
+        driver.enable_interrupts()
+        mouse.move(5, 5)
+        assert driver.read_event()[:2] == (5, 5)
+        mouse.move(-2, 1)
+        assert driver.read_event()[:2] == (-2, 1)
+
+    def test_same_io_operation_count(self):
+        counts = []
+        for driver_cls in MOUSE_DRIVERS:
+            bus, mouse, driver = mouse_machine(driver_cls)
+            driver.enable_interrupts()
+            mouse.move(1, 2)
+            driver.read_event()
+            counts.append(bus.accounting.total_ops)
+        # Figure 3c: the Devil mouse read compiles to the same 8+1 ops.
+        assert counts[0] == counts[1]
+
+
+def ide_machine(driver_cls, sectors=96):
+    bus = Bus()
+    disk = IdeDiskModel(total_sectors=sectors)
+    rng = random.Random(1234)
+    disk.store[:] = bytes(rng.randrange(256) for _ in range(len(disk.store)))
+    bus.map_device(0x1F0, IDE_REGION, disk, "ide")
+    bus.map_device(0x3F6, 1, IdeControlPort(disk), "ide-ctrl")
+    memory = bytearray(1 << 17)
+    busmaster = Piix4Model(disk, memory)
+    bus.map_device(0xC000, BM_REGION, busmaster, "piix4")
+    return bus, disk, memory, driver_cls(bus)
+
+
+class TestIdeDrivers:
+    @pytest.mark.parametrize("driver_cls", IDE_DRIVERS)
+    @pytest.mark.parametrize("io_width", [16, 32])
+    @pytest.mark.parametrize("sectors_per_irq", [1, 8])
+    def test_pio_read(self, driver_cls, io_width, sectors_per_irq):
+        _, disk, _, driver = ide_machine(driver_cls)
+        if sectors_per_irq > 1:
+            driver.set_multiple(sectors_per_irq)
+        data = driver.read_sectors(5, 12, sectors_per_irq=sectors_per_irq,
+                                   io_width=io_width)
+        assert data == bytes(disk.store[5 * SECTOR_SIZE:17 * SECTOR_SIZE])
+
+    @pytest.mark.parametrize("driver_cls", IDE_DRIVERS)
+    def test_pio_write(self, driver_cls):
+        _, disk, _, driver = ide_machine(driver_cls)
+        payload = bytes(range(256)) * 8  # 4 sectors
+        driver.write_sectors(20, payload)
+        assert bytes(disk.store[20 * SECTOR_SIZE:24 * SECTOR_SIZE]) == \
+            payload
+
+    def test_devil_loop_matches_block(self):
+        for use_block in (False, True):
+            _, disk, _, driver = ide_machine(DevilIdeDriver)
+            data = driver.read_sectors(0, 4, use_block=use_block)
+            assert data == bytes(disk.store[:4 * SECTOR_SIZE])
+
+    @pytest.mark.parametrize("driver_cls", IDE_DRIVERS)
+    def test_dma_roundtrip(self, driver_cls):
+        _, disk, memory, driver = ide_machine(driver_cls)
+        read = driver.read_dma(memory, 8, 4, buffer_address=0x10000)
+        assert read == bytes(disk.store[8 * SECTOR_SIZE:12 * SECTOR_SIZE])
+        driver.write_dma(memory, 40, read, buffer_address=0x10000)
+        assert bytes(disk.store[40 * SECTOR_SIZE:44 * SECTOR_SIZE]) == read
+
+    @pytest.mark.parametrize("driver_cls", IDE_DRIVERS)
+    def test_identify(self, driver_cls):
+        _, disk, _, driver = ide_machine(driver_cls)
+        blob = driver.identify()
+        assert len(blob) == 512
+
+    def test_interrupt_counts_equal(self):
+        interrupt_counts = []
+        for driver_cls in IDE_DRIVERS:
+            _, disk, _, driver = ide_machine(driver_cls)
+            driver.set_multiple(8)
+            driver.read_sectors(0, 32, sectors_per_irq=8)
+            interrupt_counts.append(disk.interrupts_raised)
+        assert interrupt_counts[0] == interrupt_counts[1] == 4
+
+    def test_devil_setup_costs_three_extra_ops(self):
+        """Table 2: 7 + 3 operations to prepare a command."""
+        operation_counts = []
+        for driver_cls in IDE_DRIVERS:
+            bus, _, _, driver = ide_machine(driver_cls)
+            before = bus.accounting.total_ops
+            driver._issue(
+                "READ_SECTORS" if driver_cls is DevilIdeDriver else 0x20,
+                0, 1)
+            operation_counts.append(bus.accounting.total_ops - before)
+            # Drain the pending command so the machine is quiescent.
+        assert operation_counts == [7, 10]
+
+    def test_devil_dma_is_14_vs_20_ops(self):
+        """Table 2's DMA row: 14 standard operations, 20 Devil."""
+        operation_counts = []
+        for driver_cls in IDE_DRIVERS:
+            bus, _, memory, driver = ide_machine(driver_cls)
+            before = bus.accounting.total_ops
+            driver.read_dma(memory, 0, 2, buffer_address=0x10000)
+            operation_counts.append(bus.accounting.total_ops - before)
+        assert operation_counts == [14, 20]
+
+
+def nic_machine(driver_cls):
+    bus = Bus()
+    nic = Ne2000Model()
+    bus.map_device(0x300, NE_REGION, nic, "ne2000")
+    bus.map_device(0x310, 2, Ne2000DataPort(nic), "ne2000-data")
+    bus.map_device(0x31F, 1, Ne2000ResetPort(nic), "ne2000-reset")
+    return bus, nic, driver_cls(bus)
+
+
+class TestNe2000Drivers:
+    MAC = b"\x02\xAA\xBB\xCC\xDD\xEE"
+
+    @pytest.mark.parametrize("driver_cls", NIC_DRIVERS)
+    def test_init_and_mac(self, driver_cls):
+        _, nic, driver = nic_machine(driver_cls)
+        driver.reset()
+        driver.init(self.MAC)
+        assert nic.running
+        assert driver.read_mac() == self.MAC
+
+    @pytest.mark.parametrize("driver_cls", NIC_DRIVERS)
+    def test_transmit(self, driver_cls):
+        _, nic, driver = nic_machine(driver_cls)
+        driver.reset()
+        driver.init(self.MAC)
+        frame = bytes((i * 5) & 0xFF for i in range(200))
+        driver.send_frame(frame)
+        assert nic.transmitted == [frame]
+
+    @pytest.mark.parametrize("driver_cls", NIC_DRIVERS)
+    def test_receive_multiple(self, driver_cls):
+        _, nic, driver = nic_machine(driver_cls)
+        driver.reset()
+        driver.init(self.MAC)
+        first = b"A" * 60
+        second = b"B" * 700
+        nic.receive_frame(first)
+        nic.receive_frame(second)
+        frames = driver.poll_receive()
+        assert [f[:len(first)] for f in frames][0] == first
+        assert frames[1][:len(second)] == second
+
+    @pytest.mark.parametrize("driver_cls", NIC_DRIVERS)
+    def test_receive_empty_ring(self, driver_cls):
+        _, _, driver = nic_machine(driver_cls)
+        driver.reset()
+        driver.init(self.MAC)
+        assert driver.poll_receive() == []
+
+    def test_device_state_identical_after_init(self):
+        states = []
+        for driver_cls in NIC_DRIVERS:
+            _, nic, driver = nic_machine(driver_cls)
+            driver.reset()
+            driver.init(self.MAC)
+            states.append((nic.page_start, nic.page_stop, nic.boundary,
+                           nic.current, nic.tx_page_start, nic.rcr,
+                           nic.tcr, nic.dcr, nic.imr, nic.running))
+        assert states[0] == states[1]
+
+
+def gpu_machine(driver_cls):
+    bus = Bus()
+    gpu = Permedia2Model(width=256, height=192)
+    bus.map_device(0xF000, PM2_REGION, gpu, "permedia2")
+    bus.map_device(0xF800, 1, Permedia2Aperture(gpu), "permedia2-fb")
+    return bus, gpu, driver_cls(bus, 0xF000, 0xF800)
+
+
+class TestPermedia2Drivers:
+    @pytest.mark.parametrize("driver_cls", GPU_DRIVERS)
+    def test_fill(self, driver_cls):
+        _, gpu, driver = gpu_machine(driver_cls)
+        driver.set_mode(16, 256, 192)
+        driver.fill_rect(10, 20, 30, 40, 0x1234)
+        assert gpu.framebuffer[20, 10] == 0x1234
+        assert gpu.framebuffer[59, 39] == 0x1234
+        assert gpu.pixels_filled == 1200
+
+    @pytest.mark.parametrize("driver_cls", GPU_DRIVERS)
+    def test_copy(self, driver_cls):
+        _, gpu, driver = gpu_machine(driver_cls)
+        driver.set_mode(8, 256, 192)
+        driver.fill_rect(100, 100, 20, 20, 0x55)
+        driver.screen_copy(100, 100, 10, 10, 20, 20)
+        assert np.all(gpu.framebuffer[10:30, 10:30] == 0x55)
+
+    @pytest.mark.parametrize("driver_cls", GPU_DRIVERS)
+    def test_software_pixels(self, driver_cls):
+        _, gpu, driver = gpu_machine(driver_cls)
+        driver.set_mode(32, 256, 192)
+        driver.write_pixels(256, [1, 2, 3])
+        assert driver.read_pixels(256, 3) == [1, 2, 3]
+
+    def test_framebuffers_identical(self):
+        frames = []
+        for driver_cls in GPU_DRIVERS:
+            _, gpu, driver = gpu_machine(driver_cls)
+            driver.set_mode(16, 256, 192)
+            driver.fill_rect(0, 0, 50, 50, 0xAAAA)
+            driver.screen_copy(0, 0, 60, 60, 50, 50)
+            frames.append(gpu.framebuffer.copy())
+        assert np.array_equal(frames[0], frames[1])
+
+    def test_devil_costs_two_extra_ops_per_primitive(self):
+        """Tables 3/4: 3(#w)+17 against 3(#w)+15."""
+        per_primitive = []
+        for driver_cls in GPU_DRIVERS:
+            bus, _, driver = gpu_machine(driver_cls)
+            driver.set_mode(8, 256, 192)
+            before = bus.accounting.total_ops
+            driver.fill_rect(0, 0, 4, 4, 1)
+            per_primitive.append(bus.accounting.total_ops - before)
+        assert per_primitive[1] - per_primitive[0] == 2
+
+    def test_no_fifo_overflow(self):
+        for driver_cls in GPU_DRIVERS:
+            _, gpu, driver = gpu_machine(driver_cls)
+            gpu.drain_per_poll = 3
+            driver.set_mode(8, 256, 192)
+            for index in range(50):
+                driver.fill_rect(index % 100, 0, 2, 2, index)
+            assert gpu.fifo_overflows == 0

@@ -1,0 +1,193 @@
+"""Edge-case coverage across the public APIs."""
+
+import pytest
+
+from repro.bus import Bus, BusError
+from repro.devil.compiler import compile_file, compile_spec
+from repro.devil.errors import DevilRuntimeError
+
+
+class Ram:
+    def __init__(self, size=4):
+        self.cells = [0] * size
+
+    def io_read(self, offset, width):
+        return self.cells[offset]
+
+    def io_write(self, offset, value, width):
+        self.cells[offset] = value
+
+
+SIMPLE = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    variable v = r : int(8);
+}
+"""
+
+
+class TestCompilerApi:
+    def test_compile_file(self, tmp_path):
+        path = tmp_path / "d.devil"
+        path.write_text(SIMPLE)
+        spec = compile_file(str(path))
+        assert spec.filename == str(path)
+        assert spec.name == "d"
+
+    def test_compile_file_missing(self):
+        with pytest.raises(OSError):
+            compile_file("/does/not/exist.devil")
+
+    def test_source_retained(self):
+        spec = compile_spec(SIMPLE)
+        assert spec.source == SIMPLE
+
+    def test_bad_composition_strategy(self):
+        spec = compile_spec(SIMPLE)
+        bus = Bus()
+        bus.map_device(0, 4, Ram())
+        with pytest.raises(DevilRuntimeError, match="composition"):
+            spec.bind(bus, {"base": 0}, composition="psychic")
+
+
+class TestSpecsLoader:
+    def test_unknown_spec_name(self):
+        from repro.specs import load_source
+        with pytest.raises(FileNotFoundError):
+            load_source("toaster")
+
+    def test_spec_names_all_loadable(self):
+        from repro.specs import SPEC_NAMES, load_source
+        for name in SPEC_NAMES:
+            assert "device" in load_source(name)
+
+
+class TestRuntimeMisuse:
+    def _device(self, source=SIMPLE):
+        spec = compile_spec(source)
+        bus = Bus()
+        bus.map_device(0x10, 4, Ram())
+        return spec.bind(bus, {"base": 0x10})
+
+    def test_block_access_on_non_block_variable(self):
+        device = self._device()
+        with pytest.raises(DevilRuntimeError, match="block"):
+            device.read_block("v", 4)
+
+    def test_unknown_structure(self):
+        device = self._device()
+        with pytest.raises(DevilRuntimeError, match="unknown structure"):
+            device.get_structure("nope")
+
+    def test_structure_write_with_unknown_member(self):
+        source = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    structure s = {
+        variable a = r[3..0] : int(4);
+        variable b = r[7..4] : int(4);
+    };
+}
+"""
+        device = self._device(source)
+        with pytest.raises(DevilRuntimeError, match="unknown member"):
+            device.set_structure("s", {"a": 1, "b": 2, "c": 3})
+
+    def test_write_to_read_only_register(self):
+        source = """
+device d (base : bit[8] port @ {0}) {
+    register r = read base @ 0 : bit[8];
+    variable v = r, volatile : int(8);
+}
+"""
+        device = self._device(source)
+        assert not hasattr(device, "set_v")
+        with pytest.raises(DevilRuntimeError, match="read-only"):
+            device.write_register("r", 1)
+
+    def test_read_of_write_only_register(self):
+        source = """
+device d (base : bit[8] port @ {0}) {
+    register r = write base @ 0 : bit[8];
+    variable v = r : int(8);
+}
+"""
+        device = self._device(source)
+        assert not hasattr(device, "get_v")
+        with pytest.raises(DevilRuntimeError, match="write-only"):
+            device.read_register("r")
+
+    def test_block_variable_must_cover_whole_register(self):
+        source = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    variable v = r[3..0], block : int(4);
+    variable rest = r[7..4] : int(4);
+}
+"""
+        device = self._device(source)
+        with pytest.raises(DevilRuntimeError, match="whole register"):
+            device.read_block("v", 4)
+
+
+class TestBusEdges:
+    def test_block_read_of_unmapped_port(self):
+        with pytest.raises(BusError):
+            Bus().block_read(0x999, 4, 16)
+
+    def test_device_exception_propagates(self):
+        class Grumpy:
+            def io_read(self, offset, width):
+                raise BusError("not today")
+
+            def io_write(self, offset, value, width):
+                raise BusError("never")
+
+        bus = Bus()
+        bus.map_device(0, 1, Grumpy())
+        with pytest.raises(BusError, match="not today"):
+            bus.inb(0)
+        with pytest.raises(BusError, match="never"):
+            bus.outb(1, 0)
+
+    def test_adjacent_mappings_allowed(self):
+        bus = Bus()
+        bus.map_device(0x100, 4, Ram())
+        bus.map_device(0x104, 4, Ram())  # touching, not overlapping
+        bus.inb(0x103)
+        bus.inb(0x104)
+
+
+class TestCompositionStrategies:
+    def test_read_modify_write_refreshes_from_device(self):
+        source = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    variable lo = r[3..0] : int(4);
+    variable hi = r[7..4] : int(4);
+}
+"""
+        spec = compile_spec(source)
+        bus = Bus()
+        ram = Ram()
+        bus.map_device(0, 4, ram)
+        device = spec.bind(bus, {"base": 0},
+                           composition="read-modify-write")
+        ram.cells[0] = 0xA0  # device state the cache never saw
+        device.set("lo", 0x5)
+        # RMW picked up the device's hi nibble; the cache strategy
+        # would have composed 0x05.
+        assert ram.cells[0] == 0xA5
+
+    def test_cache_strategy_uses_cache(self):
+        spec = compile_spec(SIMPLE.replace(
+            "variable v = r : int(8);",
+            "variable lo = r[3..0] : int(4);"
+            "variable hi = r[7..4] : int(4);"))
+        bus = Bus()
+        ram = Ram()
+        bus.map_device(0, 4, ram)
+        device = spec.bind(bus, {"base": 0})
+        ram.cells[0] = 0xA0
+        device.set("lo", 0x5)
+        assert ram.cells[0] == 0x05  # hi came from the (empty) cache

@@ -1,0 +1,39 @@
+"""Every example script must run to completion.
+
+The examples are part of the public API surface; this keeps them green
+as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "Done.",
+    "busmouse_driver.py": "same operations, same counts: True",
+    "ide_disk.py": "every sector intact",
+    "ne2000_packets.py": "ethertype 0x0806",
+    "sound_mixer.py": "automaton state consistent",
+    "sound_playback.py": "autoinit restored",
+    "xserver_rects.py": "primitives:",
+    "advanced_features.py": "transaction",
+    "emit_c_stubs.py": "busmouse.dil.h",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=120, cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert EXPECTED_MARKERS[name] in result.stdout

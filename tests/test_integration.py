@@ -1,0 +1,203 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import pytest
+
+from repro.devil.errors import DevilRuntimeError
+
+
+class TestMouseSession:
+    def test_full_interrupt_loop(self, mouse_machine):
+        bus, mouse, device = mouse_machine
+        device.set_config("CONFIGURATION")
+        device.set_signature(0xA5)
+        assert device.get_signature() == 0xA5
+        device.set_config("DEFAULT_MODE")
+        device.set_interrupt("ENABLE")
+
+        events = [(3, 1, 0), (-2, -2, 4), (0, 9, 7)]
+        for dx, dy, buttons in events:
+            mouse.move(dx, dy)
+            mouse.set_buttons(buttons)
+            state = device.get_mouse_state()
+            assert (state["dx"], state["dy"], state["buttons"]) == \
+                (dx, dy, buttons)
+            device.set_interrupt("ENABLE")
+
+    def test_member_access_protocol_enforced(self, mouse_machine):
+        _, _, device = mouse_machine
+        with pytest.raises(DevilRuntimeError):
+            device.get_buttons()
+
+
+class TestDiskSession:
+    def test_pio_and_dma_interleaved(self, ide_machine):
+        bus, disk, busmaster, memory, ide_dev, bm_dev = ide_machine
+        # PIO write, DMA read back.
+        payload = bytes((7 * i) & 0xFF for i in range(1024))
+        ide_dev.set_srst(False)
+        ide_dev.set_irq_disabled(False)
+        ide_dev.set_lba_mode(True)
+        ide_dev.set_drive("MASTER")
+        ide_dev.set_head(0)
+        ide_dev.set_sector_count(2)
+        ide_dev.set_lba_low(10)
+        ide_dev.set_lba_mid(0)
+        ide_dev.set_lba_high(0)
+        ide_dev.set_command("WRITE_SECTORS")
+        words = [payload[i] | (payload[i + 1] << 8)
+                 for i in range(0, 512, 2)]
+        for _ in range(2):
+            assert ide_dev.get_ide_drq()
+            ide_dev.write_ide_data_block(words)
+            words = [payload[512 + i] | (payload[512 + i + 1] << 8)
+                     for i in range(0, 512, 2)] if _ == 0 else words
+        assert bytes(disk.store[10 * 512:12 * 512]) == payload
+
+        memory[0x8000:0x8008] = (0x2000).to_bytes(4, "little") + \
+            (1024).to_bytes(2, "little") + (0x8000).to_bytes(2, "little")
+        ide_dev.set_sector_count(2)
+        ide_dev.set_lba_low(10)
+        ide_dev.set_command("READ_DMA")
+        bm_dev.set_bm_irq(True)
+        bm_dev.set_prd_pointer(0x8000)
+        bm_dev.set_dma_direction("TO_MEMORY")
+        bm_dev.set_dma_start(True)
+        assert bm_dev.get_bm_irq()
+        assert bytes(memory[0x2000:0x2400]) == payload
+
+    def test_error_path_surfaces(self, ide_machine):
+        _, disk, _, _, ide_dev, _ = ide_machine
+        ide_dev.set_sector_count(1)
+        ide_dev.set_lba_low(0)
+        ide_dev.set_lba_mid(0)
+        ide_dev.set_lba_high(0)
+        ide_dev.set_head(0)
+        disk.nsect = 0  # force a SET_MULTIPLE abort
+        ide_dev.set_command("SET_MULTIPLE")
+        assert ide_dev.get_ide_err()
+        assert ide_dev.get_ide_error() == 0x04
+
+
+class TestNicLoopback:
+    def test_transmit_appears_in_ring_when_looped(self, nic_machine):
+        bus, nic, device = nic_machine
+        device.set_st("START")
+        frame = bytes(range(64))
+        # Write frame to tx area via remote DMA.
+        device.set_remote_byte_count(len(frame))
+        device.set_remote_start_address(0x4000)
+        device.set_rd("REMOTE_WRITE")
+        words = [frame[i] | (frame[i + 1] << 8)
+                 for i in range(0, len(frame), 2)]
+        device.write_dma_data_block(words)
+        device.set_tx_page_start(0x40)
+        device.set_tx_byte_count(len(frame))
+        device.set_txp("TRANSMIT")
+        # Loop it back in as a received frame.
+        (sent,) = nic.transmitted
+        assert nic.receive_frame(sent)
+        status = device.get_interrupt_status()
+        assert status["packet_received"]
+        assert status["packet_transmitted"]
+
+    def test_volatile_status_snapshot_is_consistent(self, nic_machine):
+        _, nic, device = nic_machine
+        device.set_st("START")
+        nic.receive_frame(b"p" * 60)
+        snapshot = device.get_interrupt_status()
+        nic.isr = 0  # device state moves on
+        # Members still reflect the grouped read.
+        assert device.get_packet_received() is True
+        assert snapshot["packet_received"] is True
+
+
+class TestGraphicsSession:
+    def test_fill_copy_readback(self, gpu_machine):
+        bus, gpu, device = gpu_machine
+        device.set_pixel_depth("BPP32")
+        device.set_fb_write_mask(0xFFFFFFFF)
+        device.set_logical_op(3)
+        device.set_scissor_min(scissor_min_x=0, scissor_min_y=0)
+        device.set_scissor_max(scissor_max_x=128, scissor_max_y=96)
+        device.set_window_origin(window_x=0, window_y=0)
+        device.set_block_color(0xDEADBEEF)
+        device.set_rect_x(8)
+        device.set_rect_y(8)
+        device.set_rect_width(16)
+        device.set_rect_height(16)
+        device.set_render("FILL_RECT")
+        device.set_copy_offset(copy_dx=8 - 40, copy_dy=8 - 40)
+        device.set_rect_x(40)
+        device.set_rect_y(40)
+        device.set_render("COPY_RECT")
+        device.set_fb_address(40 * 128 + 40)
+        assert device.read_fb_data_block(4) == [0xDEADBEEF] * 4
+
+    def test_fifo_protocol(self, gpu_machine):
+        _, gpu, device = gpu_machine
+        gpu.drain_per_poll = 8
+        polls = 0
+        for _ in range(20):
+            while device.get_fifo_space() < 2:
+                polls += 1
+            device.set_block_color(1)
+            device.set_render("SYNC_CMD")
+        assert gpu.fifo_overflows == 0
+
+
+class TestCrossDeviceMachine:
+    def test_one_bus_many_devices(self):
+        """A PC-like machine: mouse + PIC + IDE on one bus."""
+        from repro.bus import Bus
+        from repro.devices.busmouse import BusmouseModel
+        from repro.devices.ide import IdeControlPort, IdeDiskModel
+        from repro.devices.pic8259 import Pic8259Model
+        from tests.conftest import shipped_spec
+
+        bus = Bus()
+        mouse = BusmouseModel()
+        pic = Pic8259Model()
+        disk = IdeDiskModel(total_sectors=16)
+        bus.map_device(0x23C, 4, mouse, "busmouse")
+        bus.map_device(0x20, 2, pic, "pic")
+        bus.map_device(0x1F0, 8, disk, "ide")
+        bus.map_device(0x3F6, 1, IdeControlPort(disk), "ide-ctrl")
+
+        mouse_dev = shipped_spec("busmouse").bind(bus, {"base": 0x23C})
+        pic_dev = shipped_spec("pic8259").bind(bus, {"base": 0x20})
+        ide_dev = shipped_spec("ide").bind(
+            bus, {"cmd": 0x1F0, "data": 0x1F0, "data32": 0x1F0,
+                  "ctrl": 0x3F6})
+
+        pic_dev.set_init(addr_vector=0, ltim="EDGE", adi="INTERVAL8",
+                         sngl="SINGLE", ic4=True, vector_base=0x20,
+                         slaves=0, sfnm=False, buffered=False,
+                         master="BUF_SLAVE", aeoi=False,
+                         microprocessor="X8086")
+        # The ICW sequence is complete: the controller is operational,
+        # and the spec's mode discipline requires saying so before the
+        # OCW registers become addressable.
+        pic_dev.set_device_mode("operation")
+        pic_dev.set_irq_mask(0x00)
+
+        # Mouse motion raises IRQ; CPU acknowledges through the PIC.
+        mouse_dev.set_interrupt("ENABLE")
+        mouse.move(2, 2)
+        pic.raise_irq(5)
+        assert pic.acknowledge() == 0x25
+        state = mouse_dev.get_mouse_state()
+        assert (state["dx"], state["dy"]) == (2, 2)
+        pic_dev.set_eoi(eoi_kind="SPECIFIC_EOI", eoi_level=5)
+        assert pic.isr == 0
+
+        # Disk interrupt while the mouse is quiet.
+        ide_dev.set_sector_count(1)
+        ide_dev.set_lba_low(0)
+        ide_dev.set_lba_mid(0)
+        ide_dev.set_lba_high(0)
+        ide_dev.set_head(0)
+        ide_dev.set_command("READ_SECTORS")
+        pic.raise_irq(6)
+        assert pic.acknowledge() == 0x26
+        ide_dev.read_ide_data_block(256)
+        pic_dev.set_eoi(eoi_kind="SPECIFIC_EOI", eoi_level=6)

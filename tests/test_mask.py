@@ -1,0 +1,138 @@
+"""Unit tests for the register-mask algebra."""
+
+import pytest
+
+from repro.devil.errors import DevilCheckError
+from repro.devil.mask import (
+    BitKind,
+    Mask,
+    bits_of_range,
+    extract_bits,
+    insert_bits,
+    pattern_value,
+)
+
+
+class TestParsing:
+    def test_figure_one_index_register_mask(self):
+        mask = Mask.parse("1..00000", 8)
+        # Bit 7 forced 1, bits 6..5 variable, bits 4..0 forced 0.
+        assert mask.forced_value == 0x80
+        assert mask.variable_bits == 0b0110_0000
+        assert mask.forced_bits == 0b1001_1111
+
+    def test_nibble_mask(self):
+        mask = Mask.parse("****....", 8)
+        assert mask.variable_bits == 0x0F
+        assert mask.irrelevant_bits == 0xF0
+        assert mask.forced_bits == 0
+
+    def test_reserved_and_irrelevant_both_irrelevant(self):
+        mask = Mask.parse("-*......", 8)
+        assert mask.irrelevant_bits == 0xC0
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(DevilCheckError):
+            Mask.parse("101", 8)
+
+    def test_all_variable_default(self):
+        mask = Mask.all_variable(8)
+        assert mask.variable_bits == 0xFF
+        assert mask.forced_bits == 0
+
+    def test_roundtrip_pattern(self):
+        for pattern in ("1001000.", "000.0000", "****....", "01.*-01."):
+            assert Mask.parse(pattern, 8).pattern() == pattern
+
+    def test_kinds_are_lsb_first(self):
+        mask = Mask.parse("1000000.", 8)
+        assert mask.kinds[0] is BitKind.VARIABLE
+        assert mask.kinds[7] is BitKind.FORCE1
+
+
+class TestWriteApplication:
+    def test_forced_bits_override(self):
+        mask = Mask.parse("1001000.", 8)
+        # Figure 2: writing CONFIGURATION ('1') must produce 0x91.
+        assert mask.apply_write(0x01) == 0x91
+        assert mask.apply_write(0x00) == 0x90
+
+    def test_irrelevant_bits_cleared(self):
+        mask = Mask.parse("****....", 8)
+        assert mask.apply_write(0xFF) == 0x0F
+
+    def test_index_register_write(self):
+        mask = Mask.parse("1..00000", 8)
+        # MSE_READ_Y_LOW: index 2 in bits 6..5 plus the forced bit 7.
+        assert mask.apply_write(2 << 5) == 0xC0
+
+
+class TestDisjointness:
+    def test_disjoint_variable_bits(self):
+        first = Mask.parse("000.0000", 8)   # interrupt bit 4
+        second = Mask.parse("1..00000", 8)  # index bits 6..5
+        assert first.disjoint_with(second)
+
+    def test_overlapping_variable_bits(self):
+        first = Mask.parse("....----", 8)
+        second = Mask.parse("..------", 8)
+        assert not first.disjoint_with(second)
+
+    def test_write_discrimination_by_forced_bit(self):
+        icw1 = Mask.parse("...1....", 8)
+        ocw2 = Mask.parse("...00...", 8)
+        assert icw1.write_discriminated_from(ocw2)
+        assert ocw2.write_discriminated_from(icw1)
+
+    def test_no_write_discrimination_same_forcing(self):
+        first = Mask.parse("...1....", 8)
+        second = Mask.parse("...1...."
+                            , 8)
+        assert not first.write_discriminated_from(second)
+
+
+class TestRefinement:
+    def test_refine_narrows_variable_bits(self):
+        base = Mask.all_variable(8)
+        refined = base.refine(Mask.parse("......0.", 8))
+        assert refined.variable_bits == 0b1111_1101
+        assert refined.forced_bits == 0b0000_0010
+
+    def test_refine_cannot_resurrect_constrained_bit(self):
+        base = Mask.parse("0.......", 8)
+        with pytest.raises(DevilCheckError):
+            base.refine(Mask.parse("1.......", 8))
+
+    def test_refine_keeps_matching_constraint(self):
+        base = Mask.parse("0.......", 8)
+        refined = base.refine(Mask.parse("0.......", 8))
+        assert refined.pattern() == "0......."
+
+    def test_refine_width_mismatch(self):
+        with pytest.raises(DevilCheckError):
+            Mask.all_variable(8).refine(Mask.all_variable(16))
+
+
+class TestBitHelpers:
+    def test_bits_of_range(self):
+        assert bits_of_range(6, 5) == 0b0110_0000
+        assert bits_of_range(0, 0) == 1
+
+    def test_bits_of_range_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            bits_of_range(2, 5)
+
+    def test_extract_insert_roundtrip(self):
+        value = insert_bits(0, 6, 5, 0b10)
+        assert value == 0b0100_0000
+        assert extract_bits(value, 6, 5) == 0b10
+
+    def test_insert_preserves_other_bits(self):
+        assert insert_bits(0xFF, 3, 0, 0) == 0xF0
+
+    def test_pattern_value(self):
+        assert pattern_value("1001") == 9
+
+    def test_pattern_value_rejects_wildcards(self):
+        with pytest.raises(ValueError):
+            pattern_value("10.1")

@@ -1,0 +1,288 @@
+"""Unit tests for the Devil parser."""
+
+import pytest
+
+from repro.devil import ast
+from repro.devil.errors import DevilParseError
+from repro.devil.parser import parse
+from repro.devil.types import EnumDirection
+
+
+def parse_body(body: str) -> ast.DeviceDecl:
+    """Wrap declarations in a minimal device."""
+    return parse("device d (base : bit[8] port @ {0..7}) {\n"
+                 + body + "\n}")
+
+
+class TestDeviceHeader:
+    def test_name_and_params(self):
+        device = parse("device logitech_busmouse "
+                       "(base : bit[8] port @ {0..3}) { }")
+        assert device.name == "logitech_busmouse"
+        (param,) = device.params
+        assert param.name == "base"
+        assert param.data_width == 8
+        assert param.offset_values() == frozenset({0, 1, 2, 3})
+
+    def test_multiple_params(self):
+        device = parse("device ide (cmd : bit[8] port @ {1..7}, "
+                       "data : bit[16] port @ {0}) { }")
+        assert [p.name for p in device.params] == ["cmd", "data"]
+        assert device.params[1].data_width == 16
+
+    def test_port_range_with_comma_list(self):
+        device = parse("device d (io : bit[8] port @ {0,2,4..6}) { }")
+        assert device.params[0].offset_values() == frozenset({0, 2, 4, 5, 6})
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DevilParseError):
+            parse("device d (p : bit[8] port @ {0}) { } extra")
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(DevilParseError):
+            parse("device d (p : bit[8] port @ {3..0}) { }")
+
+
+class TestRegisters:
+    def test_plain_register(self):
+        device = parse_body("register r = base @ 1 : bit[8];"
+                            "variable v = r : int(8);")
+        register = device.registers()[0]
+        assert register.read_port.offset == 1
+        assert register.write_port is register.read_port
+        assert register.width == 8
+
+    def test_write_only_register(self):
+        device = parse_body("register r = write base @ 3 : bit[8];"
+                            "variable v = r : int(8);")
+        register = device.registers()[0]
+        assert register.read_port is None
+        assert register.write_port.offset == 3
+
+    def test_read_and_write_ports(self):
+        device = parse_body(
+            "register r = read base @ 0, write base @ 1 : bit[8];"
+            "variable v = r : int(8);")
+        register = device.registers()[0]
+        assert register.read_port.offset == 0
+        assert register.write_port.offset == 1
+
+    def test_mask_attribute(self):
+        device = parse_body(
+            "register r = write base @ 3, mask '1001000.' : bit[8];"
+            "variable v = r[0] : bool;")
+        assert device.registers()[0].mask_pattern == "1001000."
+
+    def test_pre_action(self):
+        device = parse_body(
+            "register idx = write base @ 2 : bit[8];"
+            "private variable i = idx[1..0] : int(2);"
+            "register r = read base @ 0, pre {i = 1} : bit[8];"
+            "variable v = r : int(8);")
+        register = device.registers()[1]
+        (action,) = register.pre_actions
+        assert action.target == "i"
+        assert isinstance(action.value, ast.IntValue)
+        assert action.value.value == 1
+
+    def test_register_constructor_and_instance(self):
+        device = parse_body(
+            "register idx = write base @ 0 : bit[8];"
+            "private variable ia = idx[4..0] : int{0..31};"
+            "register I(i : int{0..31}) = base @ 1, pre {ia = i} : bit[8];"
+            "register I23 = I(23), mask '......0.';"
+            "variable v = I23[0] : bool;")
+        constructor = device.registers()[1]
+        assert constructor.is_constructor
+        assert constructor.params[0].name == "i"
+        instance = device.registers()[2]
+        assert instance.base.constructor == "I"
+        assert instance.base.arguments == [23]
+        assert instance.mask_pattern == "......0."
+
+    def test_missing_semicolon(self):
+        with pytest.raises(DevilParseError):
+            parse_body("register r = base @ 1 : bit[8]")
+
+    def test_duplicate_mask_rejected(self):
+        with pytest.raises(DevilParseError):
+            parse_body("register r = base @ 1, mask '........', "
+                       "mask '........' : bit[8];")
+
+
+class TestVariables:
+    def test_whole_register_variable(self):
+        device = parse_body("register r = base @ 0 : bit[8];"
+                            "variable v = r : int(8);")
+        variable = device.variables()[0]
+        assert variable.chunks[0].register == "r"
+        assert variable.chunks[0].ranges is None
+
+    def test_bit_range_and_concatenation(self):
+        device = parse_body(
+            "register hi = base @ 0 : bit[8];"
+            "register lo = base @ 1 : bit[8];"
+            "variable v = hi[3..0] # lo[3..0], volatile "
+            ": signed int(8);"
+            "variable rest_hi = hi[7..4] : int(4);"
+            "variable rest_lo = lo[7..4] : int(4);")
+        variable = device.variables()[0]
+        assert len(variable.chunks) == 2
+        assert variable.chunks[0].register == "hi"
+        assert variable.chunks[0].ranges[0].msb == 3
+        assert variable.behaviors.volatile
+        assert variable.type_expr.signed
+
+    def test_comma_separated_bit_ranges(self):
+        device = parse_body("register r = base @ 0 : bit[8];"
+                            "variable xa = r[2,7..4] : int(5);"
+                            "variable rest = r[3,1..0] : int(3);")
+        ranges = device.variables()[0].chunks[0].ranges
+        assert [(r.msb, r.lsb) for r in ranges] == [(2, 2), (7, 4)]
+
+    def test_private_variable(self):
+        device = parse_body("register r = write base @ 0 : bit[8];"
+                            "private variable v = r : int(8);")
+        assert device.variables()[0].private
+
+    def test_memory_variable(self):
+        device = parse_body("register r = base @ 0 : bit[8];"
+                            "variable v = r : int(8);"
+                            "private variable xm : bool;")
+        memory = device.variables()[1]
+        assert memory.chunks is None
+
+    def test_trigger_with_except(self):
+        device = parse_body(
+            "register cmd = base @ 0 : bit[8];"
+            "variable st = cmd[1..0], write trigger except NEUTRAL "
+            ": { NEUTRAL <=> '00', GO <=> '01', X2 <= '10', X3 <= '11' };"
+            "variable rest = cmd[7..2] : int(6);")
+        trigger = device.variables()[0].behaviors.trigger
+        assert trigger.direction is ast.AccessDirection.WRITE
+        assert trigger.except_symbol == "NEUTRAL"
+
+    def test_trigger_for_value(self):
+        device = parse_body(
+            "register r = base @ 0 : bit[8];"
+            "variable v = r[0], write trigger for true : bool;"
+            "variable rest = r[7..1] : int(7);")
+        trigger = device.variables()[0].behaviors.trigger
+        assert isinstance(trigger.for_value, ast.BoolValue)
+        assert trigger.for_value.value is True
+
+    def test_block_and_volatile_qualifiers(self):
+        device = parse_body(
+            "register data = base @ 0 : bit[8];"
+            "variable v = data, trigger, volatile, block : int(8);")
+        behaviors = device.variables()[0].behaviors
+        assert behaviors.volatile and behaviors.block
+        assert behaviors.trigger.direction is ast.AccessDirection.BOTH
+
+    def test_serialized_variable(self):
+        device = parse_body(
+            "register lo = base @ 0 : bit[8];"
+            "register hi = base @ 1 : bit[8];"
+            "variable x = hi # lo : int(16) serialized as {lo; hi};")
+        serialization = device.variables()[0].serialization
+        assert [s.register for s in serialization] == ["lo", "hi"]
+
+    def test_set_action_with_variable_reference(self):
+        device = parse_body(
+            "register r = base @ 0 : bit[8];"
+            "private variable xm : bool;"
+            "variable v = r[0], set {xm = v} : bool;"
+            "variable rest = r[7..1] : int(7);")
+        (action,) = device.variables()[1].set_actions
+        assert action.target == "xm"
+        assert isinstance(action.value, ast.SymbolValue)
+
+
+class TestStructures:
+    def test_structure_members(self):
+        device = parse_body(
+            "register a = base @ 0 : bit[8];"
+            "structure s = {"
+            "  variable lo = a[3..0], volatile : int(4);"
+            "  variable hi = a[7..4], volatile : int(4);"
+            "};")
+        structure = device.structures()[0]
+        assert [m.name for m in structure.members] == ["lo", "hi"]
+
+    def test_conditional_serialization(self):
+        device = parse_body(
+            "register w1 = write base @ 0, mask '...1....' : bit[8];"
+            "register w2 = write base @ 1 : bit[8];"
+            "structure init = {"
+            "  variable mode = w1[0] : { SINGLE => '1', MULTI => '0' };"
+            "  variable pad = w1[7..5] : int(3);"
+            "  variable l = w1[3..1] : int(3);"
+            "  variable vec = w2 : int(8);"
+            "} serialized as { w1; if (mode == SINGLE) w2; };")
+        serialization = device.structures()[0].serialization
+        assert isinstance(serialization[0], ast.SerWrite)
+        conditional = serialization[1]
+        assert isinstance(conditional, ast.SerIf)
+        assert conditional.variable == "mode"
+        assert isinstance(conditional.body, ast.SerWrite)
+        assert conditional.body.register == "w2"
+
+
+class TestTypesAndEnums:
+    def test_named_type_declaration(self):
+        device = parse_body(
+            "type mode_t = { ON <=> '1', OFF <=> '0' };"
+            "register r = base @ 0 : bit[8];"
+            "variable m = r[0] : mode_t;"
+            "variable rest = r[7..1] : int(7);")
+        decl = device.type_decls()[0]
+        assert decl.name == "mode_t"
+        assert isinstance(decl.type_expr, ast.EnumTypeExpr)
+
+    def test_enum_directions(self):
+        device = parse_body(
+            "register r = base @ 0 : bit[8];"
+            "variable v = r[1..0] : "
+            "{ A => '00', B <= '01', C <=> '10', D <= '11' };"
+            "variable rest = r[7..2] : int(6);")
+        items = device.variables()[0].type_expr.items
+        assert items[0].direction is EnumDirection.WRITE
+        assert items[1].direction is EnumDirection.READ
+        assert items[2].direction is EnumDirection.BOTH
+
+    def test_int_set_type(self):
+        device = parse_body(
+            "register r = base @ 0 : bit[8];"
+            "variable v = r[4..0] : int{0..17,25};"
+            "variable rest = r[7..5] : int(3);")
+        type_expr = device.variables()[0].type_expr
+        assert type_expr.values() == frozenset(range(18)) | {25}
+
+    def test_structure_valued_pre_action(self):
+        source = (
+            "register r = base @ 0 : bit[8];"
+            "structure XS = {"
+            "  variable xa = r[4..0] : int(5);"
+            "  variable xrae = r[5] : bool;"
+            "};"
+            "variable rest = r[7..6] : int(2);"
+            "register X(j : int{0..17}) = base @ 1, "
+            "pre {XS = {xa => j; xrae => true}} : bit[8];"
+            "register X2 = X(2);"
+            "variable v = X2 : int(8);")
+        device = parse_body(source)
+        constructor = [r for r in device.registers() if r.is_constructor][0]
+        (action,) = constructor.pre_actions
+        value = action.value
+        assert isinstance(value, ast.StructValue)
+        assert value.fields[0][0] == "xa"
+        assert isinstance(value.fields[1][1], ast.BoolValue)
+
+
+class TestShippedSpecs:
+    """Every shipped specification must parse."""
+
+    def test_parses(self, spec_name):
+        from repro.specs import load_source
+        device = parse(load_source(spec_name), filename=spec_name)
+        assert device.declarations

@@ -1,0 +1,176 @@
+"""Tests for the performance experiments (Tables 2, 3, 4 and §4.3)."""
+
+import pytest
+
+from repro.perf import (
+    CostModel,
+    format_permedia_table,
+    format_table2,
+    run_ide_transfer,
+    run_permedia,
+    run_permedia_table,
+    run_table2,
+)
+from repro.perf.micro import (
+    debug_mode_op_counts,
+    shared_register_op_count,
+    single_stub_op_count,
+    structure_grouping_op_count,
+)
+
+
+class TestCostModel:
+    def test_throughput_units(self):
+        cost = CostModel()
+        # 1 MB in 1e6 us == 1 MB/s.
+        assert cost.throughput_mb_s(1_000_000, 1_000_000) == \
+            pytest.approx(1.0)
+
+    def test_rep_cheaper_than_loop(self):
+        from repro.bus import IoAccounting
+        cost = CostModel()
+        loop = IoAccounting(reads=256, single_by_width={16: 256})
+        rep = IoAccounting(block_ops=1, block_words=256,
+                           block_words_by_width={16: 256})
+        assert cost.pio_time_us(rep, 0) < cost.pio_time_us(loop, 0)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(total_sectors=128)
+
+    def test_dma_parity(self, rows):
+        dma = rows[0]
+        assert dma.mode == "dma"
+        assert dma.ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_dma_saturates_media(self, rows):
+        assert rows[0].standard.throughput_mb_s == \
+            pytest.approx(14.25, rel=0.02)
+
+    def test_pio_c_loop_penalty_around_ten_percent(self, rows):
+        for row in rows:
+            if row.mode == "pio" and not row.devil_block:
+                assert 0.85 <= row.ratio <= 0.93, row.label()
+
+    def test_pio_block_stub_parity(self, rows):
+        for row in rows:
+            if row.mode == "pio" and row.devil_block:
+                assert row.ratio >= 0.98, row.label()
+
+    def test_throughput_ordering_matches_paper(self, rows):
+        """32-bit beats 16-bit; more sectors/irq beats fewer."""
+        def throughput(sectors_per_irq, width):
+            for row in rows:
+                if (row.mode, row.sectors_per_irq, row.io_width,
+                        row.devil_block) == ("pio", sectors_per_irq,
+                                             width, False):
+                    return row.standard.throughput_mb_s
+            raise LookupError
+        assert throughput(16, 32) > throughput(16, 16)
+        assert throughput(16, 32) > throughput(1, 32)
+        assert throughput(1, 32) > throughput(1, 16)
+
+    def test_absolute_throughputs_near_paper(self, rows):
+        """Spot checks against Table 2's MB/s values (±10 %)."""
+        expectations = {
+            ("pio", 16, 32): 8.17,
+            ("pio", 16, 16): 4.45,
+            ("pio", 1, 32): 6.93,
+            ("pio", 1, 16): 4.06,
+        }
+        for row in rows:
+            key = (row.mode, row.sectors_per_irq, row.io_width)
+            if key in expectations and not row.devil_block:
+                assert row.standard.throughput_mb_s == pytest.approx(
+                    expectations[key], rel=0.10), row.label()
+
+    def test_io_operation_formulas(self):
+        """Standard: 7 + irqs; Devil: 10 + 3*irqs (data via rep)."""
+        standard = run_ide_transfer("standard", "pio", 1, 16,
+                                    total_sectors=64)
+        assert standard.io_operations == 7 + 64 * 1 + 64  # + block ops
+        devil = run_ide_transfer("devil", "pio", 1, 16,
+                                 total_sectors=64, use_block=True)
+        assert devil.io_operations == 10 + 64 * 3 + 64
+
+    def test_data_transactions_match_paper_counts(self):
+        """256 16-bit or 128 32-bit data transactions per sector."""
+        for width, per_sector in ((16, 256), (32, 128)):
+            result = run_ide_transfer("standard", "pio", 1, width,
+                                      total_sectors=16)
+            data = result.bus_transactions - result.io_operations + \
+                result.total_bytes // (512 * per_sector) * 0
+            assert result.bus_transactions >= 16 * per_sector
+
+    def test_corruption_guard(self):
+        result = run_ide_transfer("devil", "pio", 8, 16,
+                                  total_sectors=32, use_block=False)
+        assert result.total_bytes == 32 * 512
+
+    def test_format_table2(self):
+        rendered = format_table2(run_table2(total_sectors=32))
+        assert "DMA" in rendered and "block stubs" in rendered
+
+
+class TestTables3And4:
+    def test_fill_ratios(self):
+        rows = run_permedia_table("fill", batch=16)
+        for row in rows:
+            assert 0.94 <= row.ratio <= 1.01
+            if row.size >= 100:
+                assert row.ratio >= 0.99
+
+    def test_copy_ratios(self):
+        rows = run_permedia_table("copy", batch=16)
+        for row in rows:
+            assert 0.94 <= row.ratio <= 1.01
+
+    def test_devil_two_extra_writes(self):
+        standard = run_permedia("standard", "fill", 8, 10, batch=8)
+        devil = run_permedia("devil", "fill", 8, 10, batch=8)
+        assert devil.io_writes - standard.io_writes == 2 * 8
+
+    def test_throughput_falls_with_size_and_depth(self):
+        small = run_permedia("standard", "fill", 8, 2, batch=8)
+        large = run_permedia("standard", "fill", 8, 400, batch=8)
+        deep = run_permedia("standard", "fill", 32, 400, batch=8)
+        assert small.per_second > large.per_second > deep.per_second
+
+    def test_fill_magnitudes_near_paper(self):
+        """Paper: ~985k rect/s at 8bpp 2x2, ~3.8k at 400x400."""
+        tiny = run_permedia("standard", "fill", 8, 2, batch=8)
+        big = run_permedia("standard", "fill", 8, 400, batch=8)
+        assert 500_000 < tiny.per_second < 2_000_000
+        assert 2_000 < big.per_second < 8_000
+
+    def test_pixel_accounting(self):
+        result = run_permedia("standard", "fill", 16, 10, batch=4)
+        assert result.pixels == 4 * 100
+        assert result.bytes_touched == 4 * 100 * 2
+
+    def test_format_table(self):
+        rendered = format_permedia_table(
+            run_permedia_table("fill", batch=4, depths=(8,), sizes=(2,)))
+        assert "Ratio" in rendered
+
+
+class TestMicroAnalysis:
+    def test_single_stub_no_overhead(self):
+        count = single_stub_op_count()
+        assert count.overhead == 0
+
+    def test_shared_register_penalty(self):
+        count = shared_register_op_count()
+        assert count.hand_written == 1
+        assert count.devil == 3
+
+    def test_structure_grouping_saves_io(self):
+        grouped, ungrouped = structure_grouping_op_count()
+        assert grouped < ungrouped
+        assert grouped == 8   # Figure 3c: 4 index writes + 4 reads
+
+    def test_debug_mode_same_io(self):
+        release, debug = debug_mode_op_counts()
+        assert release == debug

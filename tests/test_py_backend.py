@@ -1,0 +1,156 @@
+"""Tests for the Python stub generator: compiled vs interpreted stubs.
+
+The generated module and the interpreting runtime implement one
+semantics; these tests run both against identical simulated devices and
+compare results and complete I/O traces.
+"""
+
+import pytest
+
+from repro.bus import Bus
+from repro.devices.busmouse import BusmouseModel
+from repro.devices.cs4236 import VERSION_ID, Cs4236Model
+from repro.devices.ne2000 import Ne2000DataPort, Ne2000Model, Ne2000ResetPort
+from repro.devices.pic8259 import Pic8259Model
+from repro.specs import SPEC_NAMES
+from tests.conftest import shipped_spec
+
+
+def load_generated(name: str):
+    """exec the generated module; returns its stub class."""
+    source = shipped_spec(name).emit_python()
+    namespace: dict = {}
+    exec(compile(source, f"{name}_stubs.py", "exec"), namespace)
+    (cls,) = [value for key, value in namespace.items()
+              if key.endswith("Stubs")]
+    return cls
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", SPEC_NAMES)
+    def test_module_is_valid_python(self, name):
+        load_generated(name)
+
+    def test_class_name_derived_from_device(self):
+        cls = load_generated("busmouse")
+        assert cls.__name__ == "LogitechBusmouseStubs"
+
+    def test_docstrings_present(self):
+        cls = load_generated("busmouse")
+        assert "dx" in cls.get_dx.__doc__
+
+
+def _mouse_pair():
+    machines = []
+    for _ in range(2):
+        bus = Bus(tracing=True)
+        mouse = BusmouseModel()
+        mouse.move(5, -3)
+        mouse.set_buttons(0b100)
+        bus.map_device(0x23C, 4, mouse, "busmouse")
+        machines.append((bus, mouse))
+    cls = load_generated("busmouse")
+    generated = cls(machines[0][0], 0x23C, debug=True)
+    interpreted = shipped_spec("busmouse").bind(
+        machines[1][0], {"base": 0x23C})
+    return machines, generated, interpreted
+
+
+class TestAgreementBusmouse:
+    def test_full_session_identical(self):
+        machines, generated, interpreted = _mouse_pair()
+        for stubs in (generated, interpreted):
+            stubs.set_config("CONFIGURATION")
+            stubs.set_signature(0xA5)
+            assert stubs.get_signature() == 0xA5
+            state = stubs.get_mouse_state()
+            assert state == {"dx": 5, "dy": -3, "buttons": 4}
+            assert stubs.get_dy() == -3
+        assert machines[0][0].trace == machines[1][0].trace
+
+    def test_debug_check_in_generated_code(self):
+        _, generated, _ = _mouse_pair()
+        with pytest.raises(Exception, match="before"):
+            generated.get_dx()  # structure not fetched yet
+
+    def test_enum_check_in_generated_code(self):
+        _, generated, _ = _mouse_pair()
+        with pytest.raises(Exception, match="illegal value"):
+            generated.set_config("NOPE")
+
+
+class TestAgreementAutomaton:
+    def test_cs4236_extended_access(self):
+        traces = []
+        for kind in ("generated", "interpreted"):
+            bus = Bus(tracing=True)
+            chip = Cs4236Model()
+            bus.map_device(0x534, 2, chip, "cs4236")
+            if kind == "generated":
+                stubs = load_generated("cs4236")(bus, 0x534, debug=False)
+            else:
+                stubs = shipped_spec("cs4236").bind(
+                    bus, {"base": 0x534}, debug=False)
+            stubs.set_left_dac_output(left_dac_attenuation=9,
+                                      left_dac_mute=True,
+                                      left_dac_pad=False) \
+                if kind == "generated" else stubs.set_structure(
+                    "left_dac_output", {"left_dac_attenuation": 9,
+                                        "left_dac_mute": True,
+                                        "left_dac_pad": False})
+            assert stubs.get_version() == VERSION_ID
+            stubs.set_ACF(True)
+            assert not chip.extended_mode
+            traces.append([(e.op, e.port, e.value) for e in bus.trace])
+        assert traces[0] == traces[1]
+
+
+class TestAgreementConditionalSerialization:
+    def test_pic_init_sequences(self):
+        for sngl, ic4, expected_words in (
+                ("CASCADED", True, 4), ("SINGLE", False, 2),
+                ("CASCADED", False, 3), ("SINGLE", True, 3)):
+            results = []
+            for kind in ("generated", "interpreted"):
+                bus = Bus()
+                pic = Pic8259Model()
+                bus.map_device(0x20, 2, pic, "pic")
+                values = dict(addr_vector=0, ltim="EDGE",
+                              adi="INTERVAL8", sngl=sngl, ic4=ic4,
+                              vector_base=0x20, slaves=4, sfnm=False,
+                              buffered=False, master="BUF_SLAVE",
+                              aeoi=False, microprocessor="X8086")
+                if kind == "generated":
+                    stubs = load_generated("pic8259")(bus, 0x20)
+                    stubs.set_init(**values)
+                else:
+                    stubs = shipped_spec("pic8259").bind(
+                        bus, {"base": 0x20})
+                    stubs.set_structure("init", values)
+                results.append(pic.init_log[0])
+            assert results[0] == results[1]
+            assert len(results[0]) == expected_words
+
+
+class TestAgreementBlockTransfer:
+    def test_ne2000_remote_dma(self):
+        traces = []
+        for kind in ("generated", "interpreted"):
+            bus = Bus(tracing=True)
+            nic = Ne2000Model()
+            bus.map_device(0x300, 16, nic, "ne2000")
+            bus.map_device(0x310, 2, Ne2000DataPort(nic), "data")
+            bus.map_device(0x31F, 1, Ne2000ResetPort(nic), "reset")
+            if kind == "generated":
+                stubs = load_generated("ne2000")(bus, 0x300, 0x310, 0x31F)
+            else:
+                stubs = shipped_spec("ne2000").bind(
+                    bus, {"base": 0x300, "data": 0x310, "rst": 0x31F})
+            stubs.set_st("START")
+            stubs.set_remote_byte_count(8)
+            stubs.set_remote_start_address(0x4000)
+            stubs.set_rd("REMOTE_WRITE")
+            stubs.write_dma_data_block([1, 2, 3, 4])
+            assert nic.ram[0:8] == bytes([1, 0, 2, 0, 3, 0, 4, 0])
+            traces.append([(e.op, e.port, e.value) for e in bus.trace])
+        assert traces[0] == traces[1]

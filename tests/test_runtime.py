@@ -1,0 +1,348 @@
+"""Unit tests for the stub runtime (DeviceInstance semantics)."""
+
+import pytest
+
+from repro.bus import Bus
+from repro.devil.compiler import compile_spec
+from repro.devil.errors import DevilRuntimeError
+
+
+class RamDevice:
+    """A trivial device: bytes at offsets, recording every access."""
+
+    def __init__(self, size=8):
+        self.cells = [0] * size
+        self.log = []
+
+    def io_read(self, offset, width):
+        self.log.append(("r", offset))
+        value = 0
+        for i in range(width // 8):
+            value |= self.cells[offset + i] << (8 * i)
+        return value
+
+    def io_write(self, offset, value, width):
+        self.log.append(("w", offset, value))
+        for i in range(width // 8):
+            self.cells[offset + i] = (value >> (8 * i)) & 0xFF
+
+
+def bind(source, size=8, debug=True):
+    spec = compile_spec(source)
+    bus = Bus()
+    device = RamDevice(size)
+    bus.map_device(0x100, size, device, "ram")
+    instance = spec.bind(bus, {"base": 0x100}, debug=debug)
+    return bus, device, instance
+
+
+SIMPLE = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    variable v = r : int(8);
+}
+"""
+
+
+class TestBasicAccess:
+    def test_write_then_read(self):
+        _, device, instance = bind(SIMPLE, 1)
+        instance.set_v(0x5A)
+        assert device.cells[0] == 0x5A
+        assert instance.get_v() == 0x5A
+
+    def test_generic_api_matches_stubs(self):
+        _, _, instance = bind(SIMPLE, 1)
+        instance.set("v", 7)
+        assert instance.get("v") == 7
+
+    def test_unknown_variable(self):
+        _, _, instance = bind(SIMPLE, 1)
+        with pytest.raises(DevilRuntimeError):
+            instance.get("nope")
+
+    def test_missing_base_address(self):
+        spec = compile_spec(SIMPLE)
+        with pytest.raises(DevilRuntimeError):
+            spec.bind(Bus(), {})
+
+
+MASKED = """
+device d (base : bit[8] port @ {0}) {
+    register r = write base @ 0, mask '1001000.' : bit[8];
+    variable v = r[0] : { ON => '1', OFF => '0' };
+}
+"""
+
+
+class TestMaskingAndEnums:
+    def test_forced_bits_in_write(self):
+        _, device, instance = bind(MASKED, 1)
+        instance.set_v("ON")
+        assert device.cells[0] == 0x91
+        instance.set_v("OFF")
+        assert device.cells[0] == 0x90
+
+    def test_write_only_variable_has_no_getter(self):
+        _, _, instance = bind(MASKED, 1)
+        assert not hasattr(instance, "get_v")
+
+    def test_bad_symbol_raises(self):
+        _, _, instance = bind(MASKED, 1)
+        with pytest.raises(DevilRuntimeError):
+            instance.set_v("BANANA")
+
+
+SHARED = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    variable lo = r[3..0] : int(4);
+    variable hi = r[7..4] : int(4);
+}
+"""
+
+
+class TestSharedRegisterComposition:
+    def test_cached_neighbour_bits_preserved(self):
+        _, device, instance = bind(SHARED, 1)
+        instance.set_lo(0xA)
+        instance.set_hi(0x5)
+        assert device.cells[0] == 0x5A
+        instance.set_lo(0x3)
+        assert device.cells[0] == 0x53
+
+    def test_read_refreshes_cache(self):
+        _, device, instance = bind(SHARED, 1)
+        device.cells[0] = 0x42
+        assert instance.get_hi() == 0x4
+        instance.set_lo(0xF)
+        # hi bits must come from the cache refreshed by the read.
+        assert device.cells[0] == 0x4F
+
+
+TRIGGER = """
+device d (base : bit[8] port @ {0}) {
+    register cmd = base @ 0 : bit[8];
+    variable go = cmd[1..0], write trigger except NOP :
+        { NOP <=> '00', START <=> '01', STOP <=> '10', HALT <= '11' };
+    variable param = cmd[7..2] : int(6);
+}
+"""
+
+
+class TestTriggerNeutrality:
+    def test_neighbour_write_uses_neutral(self):
+        _, device, instance = bind(TRIGGER, 1)
+        instance.set_go("START")
+        assert device.cells[0] & 0b11 == 0b01
+        instance.set_param(0x3F)
+        # Writing param must compose the trigger's neutral value, not
+        # replay START.
+        assert device.cells[0] == (0x3F << 2) | 0b00
+
+
+SIGNED_CONCAT = """
+device d (base : bit[8] port @ {0..1}) {
+    register lo = base @ 0 : bit[8];
+    register hi = base @ 1 : bit[8];
+    variable both = hi[3..0] # lo[3..0], volatile : signed int(8);
+    variable rest_lo = lo[7..4] : int(4);
+    variable rest_hi = hi[7..4] : int(4);
+}
+"""
+
+
+class TestConcatenation:
+    def test_msb_first_assembly(self):
+        _, device, instance = bind(SIGNED_CONCAT, 2)
+        device.cells[0] = 0x0D  # low nibble
+        device.cells[1] = 0x0F  # high nibble
+        assert instance.get_both() == instance.model.variables[
+            "both"].type.decode(0xFD)
+        assert instance.get_both() == -3
+
+    def test_write_scatters_chunks(self):
+        _, device, instance = bind(SIGNED_CONCAT, 2)
+        instance.set_both(-3)  # 0xFD
+        assert device.cells[0] & 0x0F == 0x0D
+        assert device.cells[1] & 0x0F == 0x0F
+
+
+SERIALIZED = """
+device d (base : bit[8] port @ {0..2}) {
+    register ff = write base @ 2 : bit[8];
+    private variable flip = ff, write trigger : int(8);
+    register lo = base @ 0, pre {flip = *} : bit[8];
+    register hi = base @ 1 : bit[8];
+    variable x = hi # lo : int(16) serialized as { lo; hi };
+}
+"""
+
+
+class TestSerializationAndPreActions:
+    def test_write_order_follows_serialization(self):
+        _, device, instance = bind(SERIALIZED, 3)
+        instance.set_x(0xBEEF)
+        # flip-flop reset (wildcard -> 0), then lo, then hi.
+        assert device.log == [("w", 2, 0), ("w", 0, 0xEF), ("w", 1, 0xBE)]
+
+    def test_read_order_follows_serialization(self):
+        _, device, instance = bind(SERIALIZED, 3)
+        device.cells[0] = 0x34
+        device.cells[1] = 0x12
+        assert instance.get_x() == 0x1234
+        assert device.log == [("w", 2, 0), ("r", 0), ("r", 1)]
+
+
+STRUCT = """
+device d (base : bit[8] port @ {0..1}) {
+    register a = base @ 0 : bit[8];
+    register b = base @ 1 : bit[8];
+    structure s = {
+        variable x = a[3..0], volatile : int(4);
+        variable y = a[7..4], volatile : int(4);
+        variable z = b, volatile : int(8);
+    };
+}
+"""
+
+
+class TestStructures:
+    def test_grouped_read_each_register_once(self):
+        bus, device, instance = bind(STRUCT, 2)
+        device.cells[0] = 0x21
+        device.cells[1] = 0x99
+        state = instance.get_s()
+        assert state == {"x": 1, "y": 2, "z": 0x99}
+        assert device.log.count(("r", 0)) == 1
+
+    def test_member_reads_use_snapshot(self):
+        bus, device, instance = bind(STRUCT, 2)
+        device.cells[0] = 0x21
+        instance.get_s()
+        device.cells[0] = 0xFF  # device moves on
+        assert instance.get_x() == 1  # snapshot is stable
+
+    def test_member_read_before_fetch_raises_in_debug(self):
+        _, _, instance = bind(STRUCT, 2)
+        with pytest.raises(DevilRuntimeError):
+            instance.get_x()
+
+    def test_member_read_before_fetch_tolerated_in_release(self):
+        _, _, instance = bind(STRUCT, 2, debug=False)
+        assert instance.get_x() == 0
+
+    def test_structure_write_requires_all_members(self):
+        _, _, instance = bind(STRUCT, 2)
+        with pytest.raises(DevilRuntimeError):
+            instance.set_structure("s", {"x": 1})
+
+    def test_structure_write_composes_registers(self):
+        _, device, instance = bind(STRUCT, 2)
+        instance.set_s(x=0xA, y=0x5, z=0x77)
+        assert device.cells[0] == 0x5A
+        assert device.cells[1] == 0x77
+
+
+CONDITIONAL = """
+device d (base : bit[8] port @ {0..1}) {
+    register w1 = write base @ 0 : bit[8];
+    register w2 = write base @ 1 : bit[8];
+    structure init = {
+        variable mode = w1[0] : { FULL => '1', SHORT => '0' };
+        variable pad = w1[7..1] : int(7);
+        variable vec = w2 : int(8);
+    } serialized as { w1; if (mode == FULL) w2; };
+}
+"""
+
+
+class TestConditionalSerialization:
+    def test_condition_true_writes_all(self):
+        _, device, instance = bind(CONDITIONAL, 2)
+        instance.set_init(mode="FULL", pad=0, vec=0x42)
+        assert [entry[1] for entry in device.log] == [0, 1]
+
+    def test_condition_false_skips_step(self):
+        _, device, instance = bind(CONDITIONAL, 2)
+        instance.set_init(mode="SHORT", pad=0, vec=0x42)
+        assert [entry[1] for entry in device.log] == [0]
+
+
+MEMORY = """
+device d (base : bit[8] port @ {0}) {
+    private variable xm : bool;
+    register r = base @ 0, set {xm = false} : bit[8];
+    variable gate = r[0], set {xm = gate}, write trigger for true : bool;
+    variable rest = r[7..1] : int(7);
+}
+"""
+
+
+class TestMemoryVariablesAndSetActions:
+    def test_set_action_records_written_value(self):
+        _, _, instance = bind(MEMORY, 1)
+        instance.set_gate(True)
+        assert instance.get("xm") is True
+
+    def test_register_set_action_overwrites(self):
+        _, _, instance = bind(MEMORY, 1)
+        instance.set_gate(True)
+        instance.set_rest(3)  # any access to r runs set {xm = false}...
+        # ...but gate's own set-action then records gate's cached value.
+        # Reading rest (no gate set-action) leaves xm = false.
+        instance.get_rest()
+        assert instance.get("xm") is False
+
+    def test_memory_read_before_init_raises(self):
+        _, _, instance = bind(MEMORY, 1)
+        with pytest.raises(DevilRuntimeError):
+            instance.get("xm")
+
+
+DEBUG_CHECKS = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    variable small = r[2..0] : int(3);
+    variable rest = r[7..3] : int(5);
+}
+"""
+
+
+class TestDebugMode:
+    def test_range_check_in_debug(self):
+        _, _, instance = bind(DEBUG_CHECKS, 1)
+        with pytest.raises(DevilRuntimeError):
+            instance.set_small(9)
+
+    def test_release_mode_masks_instead(self):
+        _, device, instance = bind(DEBUG_CHECKS, 1, debug=False)
+        instance.set_small(9)  # 0b1001 truncated to width 3
+        assert device.cells[0] & 0b111 == 0b001
+
+    def test_release_mode_returns_raw_on_bad_decode(self):
+        source = """
+device d (base : bit[8] port @ {0}) {
+    register r = base @ 0 : bit[8];
+    variable v = r[0] : { ON <=> '1' , OFF <= '0'};
+    variable rest = r[7..1] : int(7);
+}
+"""
+        _, device, instance = bind(source, 1)
+        device.cells[0] = 1
+        assert instance.get_v() == "ON"
+
+
+class TestIntrospection:
+    def test_cached_register(self):
+        _, _, instance = bind(SHARED, 1)
+        assert instance.cached_register("r") is None
+        instance.set_lo(3)
+        assert instance.cached_register("r") == 3
+
+    def test_invalidate_caches(self):
+        _, _, instance = bind(STRUCT, 2)
+        instance.get_s()
+        instance.invalidate_caches()
+        with pytest.raises(DevilRuntimeError):
+            instance.get_x()

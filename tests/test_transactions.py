@@ -1,0 +1,165 @@
+"""Tests for write transactions (§6: factorized device communication).
+
+The paper's micro-analysis identifies Devil's single penalty: writing N
+independent variables of a shared register costs N I/O operations where
+hand-written C composes one.  §6 proposes compiler-level "factorizing
+and scheduling [of] device communications"; the runtime realises it as
+a transaction block, and these tests check both the semantics and the
+recovered parity.
+"""
+
+import pytest
+
+from repro.bus import Bus
+from repro.devil.compiler import compile_spec
+from repro.devil.errors import DevilRuntimeError
+from tests.conftest import IDE_BASE, IDE_CTRL, NE_BASE, shipped_spec
+
+
+class Ram:
+    def __init__(self):
+        self.cells = [0] * 8
+        self.writes = []
+
+    def io_read(self, offset, width):
+        return self.cells[offset]
+
+    def io_write(self, offset, value, width):
+        self.cells[offset] = value
+        self.writes.append((offset, value))
+
+
+SHARED = """
+device d (base : bit[8] port @ {0..1}) {
+    register r = base @ 0 : bit[8];
+    variable lo = r[3..0] : int(4);
+    variable hi = r[7..4] : int(4);
+    register q = base @ 1 : bit[8];
+    variable other = q : int(8);
+}
+"""
+
+
+def bind(source=SHARED):
+    spec = compile_spec(source)
+    bus = Bus()
+    ram = Ram()
+    bus.map_device(0x10, 8, ram)
+    return bus, ram, spec.bind(bus, {"base": 0x10})
+
+
+class TestCoalescing:
+    def test_one_write_per_register(self):
+        bus, ram, device = bind()
+        with device.transaction():
+            device.set_lo(0xA)
+            device.set_hi(0x5)
+        assert ram.writes == [(0, 0x5A)]
+
+    def test_multiple_registers_in_program_order(self):
+        bus, ram, device = bind()
+        with device.transaction():
+            device.set_other(0x77)
+            device.set_lo(0x1)
+            device.set_hi(0x2)
+        assert ram.writes == [(1, 0x77), (0, 0x21)]
+
+    def test_last_write_wins_within_register(self):
+        bus, ram, device = bind()
+        with device.transaction():
+            device.set_lo(0x1)
+            device.set_lo(0x9)
+        assert ram.writes == [(0, 0x09)]
+
+    def test_read_flushes_pending_writes(self):
+        bus, ram, device = bind()
+        with device.transaction():
+            device.set_lo(0x3)
+            assert device.get_lo() == 0x3     # flush happened first
+            device.set_hi(0x4)
+        assert ram.writes[0] == (0, 0x03)
+        assert ram.writes[-1] == (0, 0x43)
+
+    def test_no_nesting(self):
+        _, _, device = bind()
+        with pytest.raises(DevilRuntimeError, match="nest"):
+            with device.transaction():
+                with device.transaction():
+                    pass
+
+    def test_empty_transaction_is_free(self):
+        bus, _, device = bind()
+        with device.transaction():
+            pass
+        assert bus.accounting.total_ops == 0
+
+    def test_untouched_neighbours_keep_cached_bits(self):
+        bus, ram, device = bind()
+        device.set_hi(0xF)
+        with device.transaction():
+            device.set_lo(0x5)
+        assert ram.cells[0] == 0xF5
+
+
+class TestTriggerComposition:
+    """Batching trigger variables composes command bytes like the
+    hand-written NE2000 driver's single ``outb(START | RREAD)``."""
+
+    def test_ne2000_start_and_dma_in_one_write(self, nic_machine):
+        bus, nic, device = nic_machine
+        device.set_remote_byte_count(4)
+        device.set_remote_start_address(0x4000)
+        before = bus.accounting.snapshot()
+        with device.transaction():
+            device.set_st("START")
+            device.set_rd("REMOTE_WRITE")
+        delta = bus.accounting.delta(before)
+        assert delta.writes == 1
+        assert nic.running
+        assert nic.remote_cmd == 0b010
+
+
+class TestParityWithHandWrittenCode:
+    def test_ide_device_head_setup_parity(self, ide_machine):
+        """§4.3's penalty case disappears: 3 stub writes -> 1 outb."""
+        bus, disk, _, _, ide_dev, _ = ide_machine
+        before = bus.accounting.snapshot()
+        with ide_dev.transaction():
+            ide_dev.set_lba_mode(True)
+            ide_dev.set_drive("MASTER")
+            ide_dev.set_head(5)
+        delta = bus.accounting.delta(before)
+        assert delta.total_ops == 1
+        assert disk.device == 0xE5
+
+    def test_functionality_identical_to_unbatched(self, ide_machine):
+        _, disk, _, _, ide_dev, _ = ide_machine
+        ide_dev.set_lba_mode(True)
+        ide_dev.set_drive("MASTER")
+        ide_dev.set_head(5)
+        unbatched = disk.device
+        disk.device = 0
+        ide_dev.invalidate_caches()
+        with ide_dev.transaction():
+            ide_dev.set_lba_mode(True)
+            ide_dev.set_drive("MASTER")
+            ide_dev.set_head(5)
+        assert disk.device == unbatched
+
+
+class TestSetActions:
+    def test_set_actions_run_after_flush(self):
+        source = """
+device d (base : bit[8] port @ {0}) {
+    private variable seen : bool;
+    register r = base @ 0 : bit[8];
+    variable flag = r[0], set {seen = flag} : bool;
+    variable rest = r[7..1] : int(7);
+}
+"""
+        _, ram, device = bind(source)
+        with device.transaction():
+            device.set_flag(True)
+            device.set_rest(3)
+        assert device.get("seen") is True
+        assert ram.writes == [(0, 0b0000_0111)]

@@ -1,0 +1,152 @@
+"""Unit tests for the Devil type system."""
+
+import pytest
+
+from repro.devil.errors import DevilRuntimeError
+from repro.devil.types import (
+    BoolType,
+    EnumDirection,
+    EnumItem,
+    EnumType,
+    IntSetType,
+    IntType,
+)
+
+
+class TestBoolType:
+    def test_width_and_roundtrip(self):
+        t = BoolType()
+        assert t.width == 1
+        assert t.encode(True) == 1
+        assert t.decode(0) is False
+
+    def test_int_zero_one_accepted(self):
+        t = BoolType()
+        assert t.encode(1) == 1
+        assert t.encode(0) == 0
+
+    def test_rejects_other_values(self):
+        with pytest.raises(DevilRuntimeError):
+            BoolType().encode(2)
+
+    def test_exhaustive(self):
+        assert BoolType().decode_is_exhaustive()
+
+
+class TestIntType:
+    def test_unsigned_range(self):
+        t = IntType(8)
+        assert (t.minimum, t.maximum) == (0, 255)
+
+    def test_signed_range(self):
+        t = IntType(8, signed=True)
+        assert (t.minimum, t.maximum) == (-128, 127)
+
+    def test_signed_encode_two_complement(self):
+        t = IntType(8, signed=True)
+        assert t.encode(-3) == 0xFD
+
+    def test_signed_decode_sign_extends(self):
+        t = IntType(8, signed=True)
+        assert t.decode(0xFD) == -3
+        assert t.decode(0x7F) == 127
+
+    def test_encode_out_of_range(self):
+        with pytest.raises(DevilRuntimeError):
+            IntType(4).encode(16)
+        with pytest.raises(DevilRuntimeError):
+            IntType(4, signed=True).encode(8)
+
+    def test_bool_is_not_an_integer_value(self):
+        assert not IntType(8).contains(True)
+
+    def test_str(self):
+        assert str(IntType(8, signed=True)) == "signed int(8)"
+
+
+class TestIntSetType:
+    def test_width_from_maximum(self):
+        assert IntSetType(frozenset(range(32))).width == 5
+        assert IntSetType(frozenset({0, 17, 25})).width == 5
+
+    def test_membership(self):
+        t = IntSetType(frozenset(range(18)) | {25})
+        assert t.contains(17)
+        assert not t.contains(20)
+
+    def test_decode_rejects_nonmembers(self):
+        t = IntSetType(frozenset({0, 1}))
+        t_exhaustive = IntSetType(frozenset({0, 1, 2, 3}))
+        assert t_exhaustive.decode(3) == 3
+        with pytest.raises(DevilRuntimeError):
+            IntSetType(frozenset({0, 2})).decode(1)
+
+    def test_exhaustiveness(self):
+        assert IntSetType(frozenset(range(32))).decode_is_exhaustive()
+        assert not IntSetType(frozenset({0, 17, 25})).decode_is_exhaustive()
+
+    def test_rendering_collapses_ranges(self):
+        t = IntSetType(frozenset(range(18)) | {25})
+        assert str(t) == "int{0..17,25}"
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            IntSetType(frozenset())
+
+    def test_negative_members_rejected(self):
+        with pytest.raises(ValueError):
+            IntSetType(frozenset({-1, 0}))
+
+
+def _enum(*items):
+    return EnumType(tuple(EnumItem(n, p, d) for n, p, d in items))
+
+
+class TestEnumType:
+    def test_figure_one_config_enum(self):
+        t = _enum(("CONFIGURATION", "1", EnumDirection.WRITE),
+                  ("DEFAULT_MODE", "0", EnumDirection.WRITE))
+        assert t.width == 1
+        assert t.encode("CONFIGURATION") == 1
+        assert not t.can_decode()
+        assert t.can_encode()
+
+    def test_decode_by_symbol(self):
+        t = _enum(("ENABLE", "0", EnumDirection.BOTH),
+                  ("DISABLE", "1", EnumDirection.BOTH))
+        assert t.decode(1) == "DISABLE"
+
+    def test_read_only_symbol_not_writable(self):
+        t = _enum(("RUNNING", "1", EnumDirection.READ),
+                  ("STOP", "0", EnumDirection.BOTH))
+        with pytest.raises(DevilRuntimeError):
+            t.encode("RUNNING")
+
+    def test_unknown_symbol(self):
+        t = _enum(("A", "0", EnumDirection.BOTH),
+                  ("B", "1", EnumDirection.BOTH))
+        with pytest.raises(DevilRuntimeError):
+            t.encode("C")
+
+    def test_decode_unmapped_value(self):
+        t = _enum(("A", "00", EnumDirection.BOTH))
+        with pytest.raises(DevilRuntimeError):
+            t.decode(0b11)
+
+    def test_exhaustiveness(self):
+        exhaustive = _enum(("A", "0", EnumDirection.BOTH),
+                           ("B", "1", EnumDirection.READ))
+        assert exhaustive.decode_is_exhaustive()
+        partial = _enum(("A", "00", EnumDirection.BOTH))
+        assert not partial.decode_is_exhaustive()
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(ValueError):
+            _enum(("A", "0", EnumDirection.BOTH),
+                  ("B", "10", EnumDirection.BOTH))
+
+    def test_directions(self):
+        assert EnumDirection.READ.readable
+        assert not EnumDirection.READ.writable
+        assert EnumDirection.WRITE.writable
+        assert EnumDirection.BOTH.readable and EnumDirection.BOTH.writable

@@ -1,0 +1,183 @@
+"""Randomized long-run workloads: both driver flavours, lock-step.
+
+Each scenario builds two identical machines, drives one with the
+hand-written driver and one with the Devil driver, interleaves hundreds
+of seeded-random operations, and asserts after every step that the two
+worlds agree — decoded events, transferred data, device state.  This is
+the system-level counterpart of the per-operation driver tests.
+"""
+
+import random
+
+import pytest
+
+from repro.bus import Bus
+from repro.devices.busmouse import REGION_SIZE as MOUSE_REGION
+from repro.devices.busmouse import BusmouseModel
+from repro.devices.ide import REGION_SIZE as IDE_REGION
+from repro.devices.ide import IdeControlPort, IdeDiskModel, SECTOR_SIZE
+from repro.devices.ne2000 import REGION_SIZE as NE_REGION
+from repro.devices.ne2000 import (
+    Ne2000DataPort,
+    Ne2000Model,
+    Ne2000ResetPort,
+)
+from repro.devices.piix4 import Piix4Model
+from repro.drivers import (
+    CStyleBusmouseDriver,
+    CStyleIdeDriver,
+    CStyleNe2000Driver,
+    DevilBusmouseDriver,
+    DevilIdeDriver,
+    DevilNe2000Driver,
+)
+
+
+class TestMouseMarathon:
+    @pytest.mark.parametrize("seed", [7, 99, 2024])
+    def test_three_hundred_events(self, seed):
+        machines = []
+        for driver_cls in (CStyleBusmouseDriver, DevilBusmouseDriver):
+            bus = Bus()
+            mouse = BusmouseModel()
+            bus.map_device(0x23C, MOUSE_REGION, mouse, "busmouse")
+            driver = driver_cls(bus, 0x23C)
+            assert driver.probe()
+            driver.enable_interrupts()
+            machines.append((bus, mouse, driver))
+
+        rng = random.Random(seed)
+        for _ in range(300):
+            dx = rng.randint(-128, 127)
+            dy = rng.randint(-128, 127)
+            buttons = rng.randrange(8)
+            events = []
+            for bus, mouse, driver in machines:
+                mouse.move(dx, dy)
+                mouse.set_buttons(buttons)
+                events.append(driver.read_event())
+            assert events[0] == events[1] == (dx, dy, buttons)
+        # Identical total I/O (the event loop is op-for-op equal).
+        assert machines[0][0].accounting.total_ops == \
+            machines[1][0].accounting.total_ops
+
+
+class TestDiskMarathon:
+    @pytest.mark.parametrize("seed", [1, 42])
+    def test_mixed_pio_dma_traffic(self, seed):
+        rng = random.Random(seed)
+        golden = bytes(rng.randrange(256)
+                       for _ in range(64 * SECTOR_SIZE))
+        machines = []
+        for driver_cls in (CStyleIdeDriver, DevilIdeDriver):
+            bus = Bus()
+            disk = IdeDiskModel(total_sectors=64)
+            disk.store[:] = golden
+            bus.map_device(0x1F0, IDE_REGION, disk, "ide")
+            bus.map_device(0x3F6, 1, IdeControlPort(disk), "ide-ctrl")
+            memory = bytearray(1 << 17)
+            bus.map_device(0xC000, 8, Piix4Model(disk, memory), "piix4")
+            driver = driver_cls(bus)
+            driver.set_multiple(8)
+            machines.append((disk, memory, driver))
+
+        shadow = bytearray(golden)
+        operations = rng.choices(
+            ["pio_read", "pio_write", "dma_read", "dma_write"], k=60)
+        for op_index, operation in enumerate(operations):
+            lba = rng.randrange(0, 56)
+            count = rng.randint(1, 8)
+            payload = bytes((op_index + i) & 0xFF
+                            for i in range(count * SECTOR_SIZE))
+            outputs = []
+            for disk, memory, driver in machines:
+                if operation == "pio_read":
+                    outputs.append(driver.read_sectors(
+                        lba, count, sectors_per_irq=8))
+                elif operation == "pio_write":
+                    driver.write_sectors(lba, payload, sectors_per_irq=8)
+                    outputs.append(payload)
+                elif operation == "dma_read":
+                    outputs.append(driver.read_dma(
+                        memory, lba, count, buffer_address=0x10000))
+                else:
+                    driver.write_dma(memory, lba, payload,
+                                     buffer_address=0x10000)
+                    outputs.append(payload)
+            assert outputs[0] == outputs[1]
+            if operation.endswith("read"):
+                expected = bytes(
+                    shadow[lba * SECTOR_SIZE:
+                           (lba + count) * SECTOR_SIZE])
+                assert outputs[0] == expected
+            else:
+                shadow[lba * SECTOR_SIZE:
+                       (lba + count) * SECTOR_SIZE] = payload
+        # Both disks hold the same final image as the shadow.
+        assert bytes(machines[0][0].store) == bytes(shadow)
+        assert bytes(machines[1][0].store) == bytes(shadow)
+
+    def test_interrupt_counts_track_block_size(self):
+        for sectors_per_irq in (1, 4, 16):
+            bus = Bus()
+            disk = IdeDiskModel(total_sectors=64)
+            bus.map_device(0x1F0, IDE_REGION, disk, "ide")
+            bus.map_device(0x3F6, 1, IdeControlPort(disk), "ide-ctrl")
+            driver = DevilIdeDriver(bus)
+            if sectors_per_irq > 1:
+                driver.set_multiple(sectors_per_irq)
+            before = disk.interrupts_raised
+            driver.read_sectors(0, 48, sectors_per_irq=sectors_per_irq)
+            raised = disk.interrupts_raised - before
+            assert raised == -(-48 // sectors_per_irq)
+
+
+class TestNicMarathon:
+    MAC = b"\x02\x00\x00\x00\x00\x01"
+
+    @pytest.mark.parametrize("seed", [5, 77])
+    def test_traffic_storm(self, seed):
+        rng = random.Random(seed)
+        machines = []
+        for driver_cls in (CStyleNe2000Driver, DevilNe2000Driver):
+            bus = Bus()
+            nic = Ne2000Model()
+            bus.map_device(0x300, NE_REGION, nic, "ne2000")
+            bus.map_device(0x310, 2, Ne2000DataPort(nic), "data")
+            bus.map_device(0x31F, 1, Ne2000ResetPort(nic), "reset")
+            driver = driver_cls(bus)
+            driver.reset()
+            driver.init(self.MAC)
+            machines.append((nic, driver))
+
+        pending: list[bytes] = []
+        sent: list[bytes] = []
+        for step in range(120):
+            action = rng.choice(["tx", "rx", "rx", "poll"])
+            if action == "tx":
+                frame = bytes(rng.randrange(256)
+                              for _ in range(rng.randint(60, 600)))
+                for _, driver in machines:
+                    driver.send_frame(frame)
+                sent.append(frame)
+            elif action == "rx":
+                frame = bytes(rng.randrange(256)
+                              for _ in range(rng.randint(60, 900)))
+                delivered = [nic.receive_frame(frame)
+                             for nic, _ in machines]
+                assert delivered[0] == delivered[1]
+                if delivered[0]:
+                    pending.append(frame)
+            else:
+                received = [driver.poll_receive()
+                            for _, driver in machines]
+                assert received[0] == received[1]
+                for index, frame in enumerate(received[0]):
+                    original = pending[index]
+                    assert frame[:len(original)] == original
+                pending = pending[len(received[0]):]
+        # Drain what's left and compare transmissions.
+        received = [driver.poll_receive() for _, driver in machines]
+        assert received[0] == received[1]
+        assert machines[0][0].transmitted == machines[1][0].transmitted \
+            == sent
