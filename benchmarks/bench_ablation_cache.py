@@ -55,6 +55,7 @@ def test_cache_ablation(benchmark):
            f"  read-modify-write:        {ops['read-modify-write']} "
            f"I/O ops\n"
            "(the cache halves shared-register write traffic and is the\n"
-           " only option for write-only registers)")
+           " only option for write-only registers)",
+           data=ops)
     assert ops["cache"] == 50
     assert ops["read-modify-write"] == 100

@@ -19,6 +19,7 @@ def test_grouping_ablation(benchmark):
            f"grouped structure read: {grouped} I/O ops\n"
            f"member-by-member read:  {ungrouped} I/O ops\n"
            f"saving: {ungrouped - grouped} ops per mouse event "
-           f"(and the grouped read is tear-free)")
+           f"(and the grouped read is tear-free)",
+           data={"grouped": grouped, "ungrouped": ungrouped})
     assert grouped == 8
     assert ungrouped == 10

@@ -59,7 +59,8 @@ def test_transaction_ablation(benchmark):
            f"  Devil stubs:           {ops['devil']}\n"
            f"  Devil + transaction:   {ops['devil+transaction']}\n"
            "(the transaction block coalesces shared-register writes,\n"
-           " recovering hand-written parity — §6 future work realised)")
+           " recovering hand-written parity — §6 future work realised)",
+           data=ops)
     assert ops["standard"] == 7
     assert ops["devil"] == 10
     assert ops["devil+transaction"] == 7

@@ -15,7 +15,14 @@ from repro.mutation.bitops_survey import format_survey, run_survey
 
 def test_bitops_survey(benchmark):
     reports = benchmark.pedantic(run_survey, rounds=1, iterations=1)
-    record("bitops_survey", format_survey(reports))
+    record("bitops_survey", format_survey(reports),
+           data=[{"name": report.name,
+                  "total_lines": report.total_lines,
+                  "bitop_lines": report.bitop_lines,
+                  "bitop_tokens": report.bitop_tokens,
+                  "hex_literals": report.hex_literals,
+                  "line_fraction": report.line_fraction}
+                 for report in reports])
     by_name = {report.name: report for report in reports}
     for name in ("busmouse (C)", "ide (C)", "ne2000 (C)"):
         assert by_name[name].line_fraction > 0.10

@@ -12,6 +12,8 @@ Two kinds of measurement:
   Python module plays that role.
 """
 
+import dataclasses
+
 from conftest import record
 
 from repro.bus import Bus
@@ -38,7 +40,11 @@ def test_micro_op_counts(benchmark):
         f"mouse state read:       grouped={grouping[0]} "
         f"ungrouped={grouping[1]}",
     ]
-    record("micro_stub_costs", "\n".join(lines))
+    record("micro_stub_costs", "\n".join(lines),
+           data={"single": dataclasses.asdict(single),
+                 "shared": dataclasses.asdict(shared),
+                 "grouping": {"grouped": grouping[0],
+                              "ungrouped": grouping[1]}})
     assert single.overhead == 0
     assert shared.overhead == 2
     assert grouping[0] < grouping[1]

@@ -24,11 +24,27 @@ def _caps():
     return MutantCaps()
 
 
+def _row_data(rows):
+    def outcome(o):
+        return {"language": o.language, "lines": o.lines_of_code,
+                "sites": o.sites, "mutants": o.total_mutants,
+                "undetected": o.total_undetected,
+                "undetected_per_site": o.undetected_per_site,
+                "sites_with_undetected": o.sites_with_undetected}
+    return [{"device": row.device,
+             "c": outcome(row.c),
+             "devil": outcome(row.devil),
+             "cdevil": outcome(row.cdevil),
+             "ratio_cdevil": row.ratio_cdevil(),
+             "ratio_combined": row.ratio_combined()}
+            for row in rows]
+
+
 def test_table1_busmouse(benchmark):
     rows = benchmark.pedantic(
         lambda: run_table1(_caps(), devices=("busmouse",)),
         rounds=1, iterations=1)
-    record("table1_busmouse", format_table(rows))
+    record("table1_busmouse", format_table(rows), data=_row_data(rows))
     (device_rows,) = rows
     assert device_rows.devil.undetected_per_site < 2.0
     assert device_rows.ratio_combined() > 1.0
@@ -38,7 +54,7 @@ def test_table1_ide(benchmark):
     rows = benchmark.pedantic(
         lambda: run_table1(_caps(), devices=("ide",)),
         rounds=1, iterations=1)
-    record("table1_ide", format_table(rows))
+    record("table1_ide", format_table(rows), data=_row_data(rows))
     (device_rows,) = rows
     assert device_rows.devil.undetected_per_site < 2.0
     assert device_rows.ratio_combined() > 1.0
@@ -48,7 +64,7 @@ def test_table1_ne2000(benchmark):
     rows = benchmark.pedantic(
         lambda: run_table1(_caps(), devices=("ne2000",)),
         rounds=1, iterations=1)
-    record("table1_ethernet", format_table(rows))
+    record("table1_ethernet", format_table(rows), data=_row_data(rows))
     (device_rows,) = rows
     assert device_rows.devil.undetected_per_site < 2.0
     assert device_rows.ratio_combined() > 1.0

@@ -17,7 +17,15 @@ from repro.perf import format_table2, run_table2
 def test_table2(benchmark):
     rows = benchmark.pedantic(
         lambda: run_table2(total_sectors=512), rounds=1, iterations=1)
-    record("table2_ide", format_table2(rows))
+    record("table2_ide", format_table2(rows),
+           data=[{"label": row.label(), "mode": row.mode,
+                  "sectors_per_irq": row.sectors_per_irq,
+                  "io_width": row.io_width,
+                  "devil_block": row.devil_block,
+                  "standard_mb_s": row.standard.throughput_mb_s,
+                  "devil_mb_s": row.devil.throughput_mb_s,
+                  "ratio": row.ratio}
+                 for row in rows])
     dma = rows[0]
     assert dma.ratio > 0.99
     for row in rows[1:]:

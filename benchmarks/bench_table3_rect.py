@@ -15,7 +15,12 @@ def test_table3_fill(benchmark):
     rows = benchmark.pedantic(
         lambda: run_permedia_table("fill", batch=64),
         rounds=1, iterations=1)
-    record("table3_fill_rect", format_permedia_table(rows))
+    record("table3_fill_rect", format_permedia_table(rows),
+           data=[{"depth": row.depth, "size": row.size,
+                  "standard_per_second": row.standard.per_second,
+                  "devil_per_second": row.devil.per_second,
+                  "ratio": row.ratio}
+                 for row in rows])
     for row in rows:
         assert 0.93 <= row.ratio <= 1.01
         if row.size >= 100:

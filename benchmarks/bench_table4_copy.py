@@ -14,7 +14,12 @@ def test_table4_copy(benchmark):
     rows = benchmark.pedantic(
         lambda: run_permedia_table("copy", batch=64),
         rounds=1, iterations=1)
-    record("table4_screen_copy", format_permedia_table(rows))
+    record("table4_screen_copy", format_permedia_table(rows),
+           data=[{"depth": row.depth, "size": row.size,
+                  "standard_per_second": row.standard.per_second,
+                  "devil_per_second": row.devil.per_second,
+                  "ratio": row.ratio}
+                 for row in rows])
     for row in rows:
         assert 0.93 <= row.ratio <= 1.01
         if row.size >= 100:

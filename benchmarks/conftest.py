@@ -3,19 +3,32 @@
 Every ``bench_table*.py`` file regenerates one table or figure of the
 paper.  Heavy experiments run exactly once (``benchmark.pedantic`` with
 one round); the reproduced table is printed and also written to
-``results/<name>.txt`` so EXPERIMENTS.md can reference stable outputs.
+``results/<name>.txt`` — plus a machine-readable ``results/<name>.json``
+companion so downstream tooling (CI trend lines, EXPERIMENTS.md
+generators) does not have to parse the human-oriented text.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
-def record(name: str, content: str) -> None:
-    """Print a reproduced table and persist it under results/."""
+def record(name: str, content: str, data: object = None) -> None:
+    """Print a reproduced table and persist it under results/.
+
+    ``results/<name>.txt`` holds the rendered table; ``<name>.json``
+    holds ``{"name", "text"}`` plus the optional structured ``data``
+    payload (plain dicts/lists/numbers) when the caller provides one.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
+    payload: dict[str, object] = {"name": name, "text": content}
+    if data is not None:
+        payload["data"] = data
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n=== {name} ===")
     print(content)

@@ -150,6 +150,11 @@ class Bus:
     tracing: bool = False
     trace: list[IoTraceEntry] = field(default_factory=list)
     _mappings: list[_Mapping] = field(default_factory=list)
+    #: Port-dispatch fast path: memoized ``port -> _Mapping`` so the hot
+    #: ``read``/``write`` path costs one dict probe instead of a linear
+    #: scan over every mapping.  Populated lazily on first access to a
+    #: port and invalidated whenever the topology changes.
+    _port_cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # Topology
@@ -171,14 +176,20 @@ class Bus:
                     f"[{mapping.base:#x}, {mapping.base + mapping.size:#x})")
         self._mappings.append(
             _Mapping(base, size, device, name or type(device).__name__))
+        self._port_cache.clear()
 
     def unmap_device(self, device: MappedDevice) -> None:
         """Remove every mapping of ``device``."""
         self._mappings = [m for m in self._mappings if m.device is not device]
+        self._port_cache.clear()
 
     def _find(self, port: int) -> _Mapping:
+        mapping = self._port_cache.get(port)
+        if mapping is not None:
+            return mapping
         for mapping in self._mappings:
             if mapping.contains(port):
+                self._port_cache[port] = mapping
                 return mapping
         raise BusError(f"no device mapped at port {port:#x}")
 
@@ -193,12 +204,18 @@ class Bus:
 
     def read(self, port: int, width: int = 8) -> int:
         """One port read of ``width`` bits (``inb``/``inw``/``inl``)."""
-        self._check_width(width)
-        mapping = self._find(port)
+        mapping = self._port_cache.get(port)
+        if mapping is None:
+            self._check_width(width)
+            mapping = self._find(port)
+        elif width not in (8, 16, 32):
+            raise BusError(f"unsupported access width {width}")
         value = mapping.device.io_read(port - mapping.base, width)
         value &= (1 << width) - 1
-        self.accounting.reads += 1
-        self.accounting.record_single(width)
+        accounting = self.accounting
+        accounting.reads += 1
+        by_width = accounting.single_by_width
+        by_width[width] = by_width.get(width, 0) + 1
         if self.tracing:
             self.trace.append(IoTraceEntry("r", port, value, width))
         return value
@@ -209,12 +226,18 @@ class Bus:
         The argument order (value first) follows the x86 convention used
         throughout the paper's code fragments: ``outb(value, port)``.
         """
-        self._check_width(width)
+        mapping = self._port_cache.get(port)
+        if mapping is None:
+            self._check_width(width)
+            mapping = self._find(port)
+        elif width not in (8, 16, 32):
+            raise BusError(f"unsupported access width {width}")
         value &= (1 << width) - 1
-        mapping = self._find(port)
         mapping.device.io_write(port - mapping.base, value, width)
-        self.accounting.writes += 1
-        self.accounting.record_single(width)
+        accounting = self.accounting
+        accounting.writes += 1
+        by_width = accounting.single_by_width
+        by_width[width] = by_width.get(width, 0) + 1
         if self.tracing:
             self.trace.append(IoTraceEntry("w", port, value, width))
 

@@ -38,17 +38,23 @@ class CompiledSpec:
 
     def bind(self, bus: Bus, bases: dict[str, int],
              debug: bool = True,
-             composition: str = "cache") -> DeviceInstance:
+             composition: str = "cache",
+             strategy: str = "interpret") -> DeviceInstance:
         """Instantiate executable stubs on ``bus`` at ``bases``.
 
         ``debug=True`` enables the run-time checks of §3.2, the
         equivalent of compiling with ``DEVIL_DEBUG`` defined.
         ``composition`` selects the shared-register write strategy
         (``"cache"``, Devil's; ``"read-modify-write"`` for the
-        ablation benchmark).
+        ablation benchmark).  ``strategy`` selects how the stubs
+        execute: ``"interpret"`` (walk the resolved model per call) or
+        ``"specialize"`` (partial evaluation into straight-line
+        closures at bind time — same semantics, faster calls; see
+        :mod:`repro.devil.specialize`).
         """
         return DeviceInstance(self.model, bus, bases, debug=debug,
-                              composition=composition)
+                              composition=composition,
+                              strategy=strategy)
 
     def emit_c(self, prefix: str | None = None, debug: bool = False) -> str:
         """Generate the C stub header (Figure 3c's artifact)."""

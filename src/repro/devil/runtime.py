@@ -69,7 +69,8 @@ class DeviceInstance:
 
     def __init__(self, model: ResolvedDevice, bus: Bus,
                  bases: dict[str, int], debug: bool = True,
-                 composition: str = "cache"):
+                 composition: str = "cache",
+                 strategy: str = "interpret"):
         missing = set(model.params) - set(bases)
         if missing:
             raise DevilRuntimeError(
@@ -78,6 +79,10 @@ class DeviceInstance:
         if composition not in ("cache", "read-modify-write"):
             raise DevilRuntimeError(
                 f"unknown composition strategy {composition!r}",
+                model.location)
+        if strategy not in ("interpret", "specialize"):
+            raise DevilRuntimeError(
+                f"unknown execution strategy {strategy!r}",
                 model.location)
         self.model = model
         self.bus = bus
@@ -91,6 +96,12 @@ class DeviceInstance:
         #: registers and non-idempotent reads.  Kept for the ablation
         #: benchmark.
         self.composition = composition
+        #: How stubs execute.  ``"interpret"`` walks the resolved model
+        #: on every call; ``"specialize"`` partially evaluates the model
+        #: at bind time into straight-line closures with all masks,
+        #: shifts and port addresses folded to literals (see
+        #: :mod:`repro.devil.specialize`).  Semantics are identical.
+        self.strategy = strategy
         #: Last known raw value per register (write composition cache).
         self._register_cache: dict[str, int] = {}
         #: Raw register snapshots per structure, taken by get_<struct>.
@@ -108,6 +119,12 @@ class DeviceInstance:
         #: Active transaction state, or None (see :meth:`transaction`).
         self._txn: dict | None = None
         self._attach_stubs()
+        if strategy == "specialize":
+            # Deferred import: the specializer imports nothing at module
+            # scope that depends on this module's load order, but the
+            # lazy import keeps the interpreted path dependency-free.
+            from .specialize import specialize_instance
+            specialize_instance(self)
 
     # ------------------------------------------------------------------
     # Stub attachment

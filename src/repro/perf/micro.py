@@ -44,23 +44,25 @@ class OpCount:
         return self.devil - self.hand_written
 
 
-def _mouse_fixture(debug: bool = False):
+def _mouse_fixture(debug: bool = False, strategy: str = "interpret"):
+    # compile_shipped is memoized, so this costs one dict probe after
+    # the first call — no redundant recompiles per fixture.
     bus = Bus()
     mouse = BusmouseModel()
     bus.map_device(MOUSE_BASE, MOUSE_REGION, mouse, "busmouse")
     device = compile_shipped("busmouse").bind(bus, {"base": MOUSE_BASE},
-                                              debug=debug)
+                                              debug=debug, strategy=strategy)
     return bus, mouse, device
 
 
-def _ide_fixture(debug: bool = False):
+def _ide_fixture(debug: bool = False, strategy: str = "interpret"):
     bus = Bus()
     disk = IdeDiskModel(total_sectors=16)
     bus.map_device(IDE_BASE, IDE_REGION, disk, "ide")
     bus.map_device(IDE_CTRL, 1, IdeControlPort(disk), "ide-ctrl")
     device = compile_shipped("ide").bind(
         bus, {"cmd": IDE_BASE, "data": IDE_BASE, "data32": IDE_BASE,
-              "ctrl": IDE_CTRL}, debug=debug)
+              "ctrl": IDE_CTRL}, debug=debug, strategy=strategy)
     return bus, disk, device
 
 

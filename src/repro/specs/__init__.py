@@ -9,6 +9,7 @@ reports on (mouse, DMA, interrupt, Ethernet, sound, IDE disk, video).
 
 from __future__ import annotations
 
+import functools
 import importlib.resources
 
 from ..devil.compiler import CompiledSpec, compile_spec
@@ -33,6 +34,13 @@ def load_source(name: str) -> str:
     return resource.read_text(encoding="utf-8")
 
 
+@functools.lru_cache(maxsize=None)
 def compile_shipped(name: str) -> CompiledSpec:
-    """Compile the shipped specification ``name``."""
+    """Compile the shipped specification ``name``.
+
+    Shipped specifications never change within a process, so the result
+    is memoized: every caller shares one :class:`CompiledSpec` (treat it
+    as immutable).  Parsing and checking therefore happen once per spec
+    per process instead of once per ``bind()`` call site.
+    """
     return compile_spec(load_source(name), filename=f"{name}.devil")

@@ -31,14 +31,13 @@ NE_RESET = 0x31F
 PM2_REGS = 0xF000
 PM2_FB = 0xF800
 
-_SPEC_CACHE: dict = {}
-
-
 def shipped_spec(name: str):
-    """Compile a shipped spec once per test session."""
-    if name not in _SPEC_CACHE:
-        _SPEC_CACHE[name] = compile_shipped(name)
-    return _SPEC_CACHE[name]
+    """Compile a shipped spec once per process.
+
+    ``compile_shipped`` is memoized (``functools.lru_cache``), so this
+    is a plain alias kept for the existing call sites.
+    """
+    return compile_shipped(name)
 
 
 @pytest.fixture(params=SPEC_NAMES)

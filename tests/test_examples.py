@@ -4,6 +4,7 @@ The examples are part of the public API surface; this keeps them green
 as the library evolves.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,7 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 EXPECTED_MARKERS = {
     "quickstart.py": "Done.",
@@ -32,8 +34,15 @@ def test_every_example_has_an_expectation():
 
 @pytest.mark.parametrize("name", EXAMPLES)
 def test_example_runs(name, tmp_path):
+    # The subprocess must see the in-tree package even when pytest was
+    # launched from an environment where `repro` is importable only via
+    # the parent process's sys.path.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                          else []))
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
-        capture_output=True, text=True, timeout=120, cwd=tmp_path)
+        capture_output=True, text=True, timeout=120, cwd=tmp_path, env=env)
     assert result.returncode == 0, result.stderr
     assert EXPECTED_MARKERS[name] in result.stdout
