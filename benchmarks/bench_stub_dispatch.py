@@ -83,8 +83,9 @@ SPEEDUP_FLOOR = 3.0
 FLOOR_WORKLOADS = ("busmouse/get_dx", "ide/status_poll")
 
 
-def _machine(name: str, tracing: bool) -> tuple[Bus, dict[str, int]]:
-    bus = Bus(tracing=tracing)
+def _machine(name: str, tracing: bool,
+             bus_factory=Bus) -> tuple[Bus, dict[str, int]]:
+    bus = bus_factory(tracing=tracing)
     if name == "busmouse":
         bus.map_device(MOUSE_BASE, MOUSE_REGION, BusmouseModel(),
                        "busmouse")

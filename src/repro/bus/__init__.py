@@ -10,7 +10,14 @@ paper's I/O-operation columns in Tables 2-4), block (``rep``-style)
 transfers, and optional tracing.
 """
 
-from .bus import Bus, BusError, IoAccounting, IoTraceEntry, MappedDevice
+from .bus import (
+    Bus,
+    BusError,
+    IoAccounting,
+    IoTraceEntry,
+    MappedDevice,
+    iter_operations,
+)
 
 __all__ = [
     "Bus",
@@ -18,4 +25,5 @@ __all__ = [
     "IoAccounting",
     "IoTraceEntry",
     "MappedDevice",
+    "iter_operations",
 ]

@@ -16,8 +16,9 @@ throughput figures.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol
+from typing import Iterable, Iterator, Protocol
 
 
 class BusError(Exception):
@@ -122,12 +123,41 @@ class IoAccounting:
 
 @dataclass(frozen=True)
 class IoTraceEntry:
-    """One traced access: ``op`` is 'r', 'w', 'rb' (block read) or 'wb'."""
+    """One traced access: ``op`` is 'r', 'w', 'rb' (block read) or 'wb'.
+
+    ``count`` is the word count of the block operation the entry
+    belongs to (1 for single accesses).  A block transfer of N words
+    appends N entries, each carrying ``count=N``, so adjacent block
+    operations to the same port remain distinguishable and the
+    operation structure is reconstructible from the trace alone (see
+    :func:`iter_operations`).
+    """
 
     op: str
     port: int
     value: int
     width: int
+    count: int = 1
+
+
+def iter_operations(trace: Iterable[IoTraceEntry]) \
+        -> Iterator[tuple[IoTraceEntry, ...]]:
+    """Group a trace back into bus operations.
+
+    Single accesses yield one-entry tuples; a block transfer yields one
+    tuple of its ``count`` per-word entries.  This is the inverse of the
+    trace encoding: ``sum(len(op) for op in iter_operations(t)) ==
+    len(t)`` and the grouping matches :class:`IoAccounting.total_ops`.
+    """
+    entries = iter(trace)
+    for entry in entries:
+        if entry.op in ("r", "w"):
+            yield (entry,)
+            continue
+        words = [entry]
+        for _ in range(entry.count - 1):
+            words.append(next(entries))
+        yield tuple(words)
 
 
 @dataclass
@@ -149,12 +179,47 @@ class Bus:
     #: When True, every access is appended to :attr:`trace`.
     tracing: bool = False
     trace: list[IoTraceEntry] = field(default_factory=list)
+    #: When set, :attr:`trace` becomes a ring buffer of this many
+    #: entries: long workloads keep the most recent window instead of
+    #: growing without bound, and every evicted entry is counted in
+    #: :attr:`trace_dropped` (surfaced as the ``bus.trace_dropped``
+    #: metric by :mod:`repro.obs`).
+    trace_limit: int | None = None
+    #: Entries evicted from the ring buffer so far.
+    trace_dropped: int = 0
+    #: Telemetry observer (:class:`repro.obs.Collector`) or None.  The
+    #: hook shares the ``tracing`` gate, so port-level attribution
+    #: requires ``tracing=True`` (the default everywhere telemetry is
+    #: used) and an untraced bus pays nothing for it: the hot paths
+    #: check exactly one flag, as they did before telemetry existed.
+    #: When attached and tracing, every access is attributed to the
+    #: currently open device-variable span.
+    collector: object | None = None
     _mappings: list[_Mapping] = field(default_factory=list)
     #: Port-dispatch fast path: memoized ``port -> _Mapping`` so the hot
     #: ``read``/``write`` path costs one dict probe instead of a linear
     #: scan over every mapping.  Populated lazily on first access to a
     #: port and invalidated whenever the topology changes.
     _port_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.trace_limit is not None:
+            if self.trace_limit < 0:
+                raise BusError(
+                    f"trace_limit must be non-negative, "
+                    f"got {self.trace_limit}")
+            self.trace = deque(self.trace, maxlen=self.trace_limit)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def _trace_add(self, entry: IoTraceEntry) -> None:
+        trace = self.trace
+        if self.trace_limit is not None and \
+                len(trace) >= self.trace_limit:
+            self.trace_dropped += 1  # the deque evicts the oldest entry
+        trace.append(entry)
 
     # ------------------------------------------------------------------
     # Topology
@@ -217,7 +282,10 @@ class Bus:
         by_width = accounting.single_by_width
         by_width[width] = by_width.get(width, 0) + 1
         if self.tracing:
-            self.trace.append(IoTraceEntry("r", port, value, width))
+            self._trace_add(IoTraceEntry("r", port, value, width))
+            collector = self.collector
+            if collector is not None:
+                collector.io_event("r", port, value, width)
         return value
 
     def write(self, value: int, port: int, width: int = 8) -> None:
@@ -239,7 +307,10 @@ class Bus:
         by_width = accounting.single_by_width
         by_width[width] = by_width.get(width, 0) + 1
         if self.tracing:
-            self.trace.append(IoTraceEntry("w", port, value, width))
+            self._trace_add(IoTraceEntry("w", port, value, width))
+            collector = self.collector
+            if collector is not None:
+                collector.io_event("w", port, value, width)
 
     # Convenience aliases in driver idiom.
     def inb(self, port: int) -> int:
@@ -284,7 +355,11 @@ class Bus:
         self.accounting.record_block(width, count)
         if self.tracing:
             for value in values:
-                self.trace.append(IoTraceEntry("rb", port, value, width))
+                self._trace_add(
+                    IoTraceEntry("rb", port, value, width, count))
+            collector = self.collector
+            if collector is not None:
+                collector.io_event("rb", port, None, width, count)
         return values
 
     def block_write(self, port: int, values: Iterable[int],
@@ -295,12 +370,21 @@ class Bus:
         offset = port - mapping.base
         mask = (1 << width) - 1
         count = 0
+        traced: list[int] | None = [] if self.tracing else None
         for value in values:
             mapping.device.io_write(offset, value & mask, width)
             count += 1
-            if self.tracing:
-                self.trace.append(IoTraceEntry("wb", port, value & mask,
-                                               width))
+            if traced is not None:
+                traced.append(value & mask)
+        if traced is not None:
+            # Entries carry the operation's final word count, so the
+            # trace is appended once the transfer length is known.
+            for value in traced:
+                self._trace_add(
+                    IoTraceEntry("wb", port, value, width, count))
+            collector = self.collector
+            if collector is not None:
+                collector.io_event("wb", port, None, width, count)
         self.accounting.block_ops += 1
         self.accounting.block_words += count
         self.accounting.record_block(width, count)

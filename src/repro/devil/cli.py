@@ -6,6 +6,11 @@ Usage::
     devilc c      SPEC.devil [-o OUT]    emit the C stub header
     devilc python SPEC.devil [-o OUT]    emit the Python stub module
     devilc dump   SPEC.devil             print the resolved model
+    devilc trace  NAME [--format=...]    replay a shipped driver
+                                         workload with telemetry
+
+(``devil`` is installed as an alias of ``devilc``; ``devil trace
+busmouse --format=chrome`` is the quick-start of docs/LANGUAGE.md.)
 
 Exit status is 0 on success, 1 when the specification is rejected —
 suitable for driver build systems, which is how the paper envisioned
@@ -81,6 +86,33 @@ def build_parser() -> argparse.ArgumentParser:
                                   "name)")
             sub.add_argument("--debug", action="store_true",
                              help="force DEVIL_DEBUG on")
+
+    trace = commands.add_parser(
+        "trace",
+        help="replay a shipped driver workload with telemetry on")
+    trace.add_argument("spec", metavar="NAME",
+                       help="shipped spec name (e.g. busmouse, ide)")
+    trace.add_argument("--strategy", default="interpret",
+                       choices=("interpret", "specialize", "generated",
+                                "all"),
+                       help="execution strategy to trace (default: "
+                            "interpret; 'all' runs every strategy "
+                            "back-to-back)")
+    trace.add_argument("--format", default="chrome",
+                       choices=("jsonl", "chrome", "report", "summary"),
+                       help="chrome: Perfetto-loadable trace_event "
+                            "JSON (default); jsonl: one span per "
+                            "line; report: hot-variables profile; "
+                            "summary: one line per strategy")
+    trace.add_argument("-o", "--output",
+                       help="output file (default: stdout)")
+    trace.add_argument("--variable",
+                       help="keep only spans of this device variable")
+    trace.add_argument("--trace-limit", type=int, default=None,
+                       help="bound the bus trace to N entries (ring "
+                            "buffer; drops are counted)")
+    trace.add_argument("--debug", action="store_true",
+                       help="bind the stubs in debug mode")
     return parser
 
 
@@ -92,6 +124,8 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(arguments) -> int:
+    if arguments.command == "trace":
+        return _run_trace(arguments)
     try:
         spec = compile_file(arguments.spec)
     except DevilError as error:
@@ -118,6 +152,74 @@ def _run(arguments) -> int:
         text = spec.emit_doc()
     else:
         text = spec.emit_python()
+    if getattr(arguments, "output", None):
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _run_trace(arguments) -> int:
+    """Replay one shipped driver workload with telemetry attached."""
+    import json
+
+    from .. import obs
+    from ..obs.workloads import (
+        STRATEGIES,
+        WORKLOADS,
+        bind_stubs,
+        build_machine,
+    )
+    from ..specs import SPEC_NAMES
+
+    name = arguments.spec
+    if name not in SPEC_NAMES:
+        print(f"unknown shipped spec {name!r}; choose from: "
+              f"{', '.join(SPEC_NAMES)}", file=sys.stderr)
+        return 1
+    strategies = STRATEGIES if arguments.strategy == "all" \
+        else (arguments.strategy,)
+
+    collector = obs.Collector()
+    for strategy in strategies:
+        bus, aux, bases = build_machine(
+            name, trace_limit=arguments.trace_limit)
+        with obs.observe(bus, collector=collector):
+            stubs = bind_stubs(name, strategy, bus, bases,
+                               debug=arguments.debug)
+            collector.register_ports(name,
+                                     getattr(stubs, "_obs_ports", {}))
+            WORKLOADS[name](stubs, aux)
+
+    spans = collector.spans
+    if arguments.variable:
+        spans = [span for span in spans
+                 if span.variable == arguments.variable]
+
+    if arguments.format == "jsonl":
+        import io
+        buffer = io.StringIO()
+        obs.to_jsonl(spans, buffer)
+        text = buffer.getvalue()
+    elif arguments.format == "chrome":
+        text = json.dumps(obs.to_chrome_trace(spans), indent=2) + "\n"
+    elif arguments.format == "report":
+        text = obs.hot_report(spans, collector.metrics) + "\n"
+    else:  # summary
+        lines = [f"{name}: {len(spans)} spans"]
+        for strategy in strategies:
+            group = [span for span in spans
+                     if span.strategy == strategy]
+            io_ops = sum(span.io_ops for span in group)
+            words = sum(span.io_words for span in group)
+            lines.append(f"  {strategy:<11} {len(group):>4} spans  "
+                         f"{io_ops:>5} I/O ops  {words:>6} words")
+        dropped = collector.metrics.value("bus.trace_dropped")
+        if dropped:
+            lines.append(f"  bus trace entries dropped: {dropped}")
+        text = "\n".join(lines) + "\n"
+
     if getattr(arguments, "output", None):
         with open(arguments.output, "w", encoding="utf-8") as handle:
             handle.write(text)

@@ -61,10 +61,15 @@ class CompiledSpec:
         from .codegen.c_backend import generate_c_header
         return generate_c_header(self.model, prefix=prefix, debug=debug)
 
-    def emit_python(self) -> str:
-        """Generate a standalone Python stub module."""
+    def emit_python(self, observe: bool = False) -> str:
+        """Generate a standalone Python stub module.
+
+        ``observe=True`` emits :mod:`repro.obs` telemetry hooks (span
+        decorators on public stubs, action-record probes); the default
+        module has no hooks and no overhead.
+        """
         from .codegen.py_backend import generate_python_module
-        return generate_python_module(self.model)
+        return generate_python_module(self.model, observe=observe)
 
     def emit_doc(self) -> str:
         """Generate the Markdown datasheet (§4.1: specs double as

@@ -39,6 +39,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterable
 
+from .. import obs
 from ..bus import Bus
 from .errors import DevilRuntimeError, SourceLocation, UNKNOWN_LOCATION
 from .mask import extract_bits, insert_bits
@@ -118,6 +119,10 @@ class DeviceInstance:
             self._last_written["device_mode"] = model.modes[0]
         #: Active transaction state, or None (see :meth:`transaction`).
         self._txn: dict | None = None
+        #: Decided at bind time so disabled telemetry costs nothing:
+        #: uninstrumented instances carry exactly the stubs an
+        #: observability-free build would (see :mod:`repro.obs`).
+        self._instrumented = obs.is_enabled()
         self._attach_stubs()
         if strategy == "specialize":
             # Deferred import: the specializer imports nothing at module
@@ -125,6 +130,10 @@ class DeviceInstance:
             # lazy import keeps the interpreted path dependency-free.
             from .specialize import specialize_instance
             specialize_instance(self)
+        if self._instrumented:
+            # Wrap the final public stub surface (interpreted closures
+            # or the specialized replacements) in span-opening wrappers.
+            obs.instrument_instance(self)
 
     # ------------------------------------------------------------------
     # Stub attachment
@@ -192,8 +201,14 @@ class DeviceInstance:
     # ------------------------------------------------------------------
 
     def _run_actions(self, actions: list[ResolvedAction],
-                     context: dict[str, object]) -> None:
+                     context: dict[str, object],
+                     kind: str = "reg-set") -> None:
+        if not actions:
+            return
+        collector = self.bus.collector
         for action in actions:
+            if collector is not None:
+                collector.record_action(kind, action.target)
             value = self._eval_value(action.value, context,
                                      action.location)
             if action.target_kind == "structure":
@@ -244,10 +259,10 @@ class DeviceInstance:
                 f"register {name!r} is write-only", register.location)
         self._check_mode(register)
         context = context or {}
-        self._run_actions(register.pre_actions, context)
+        self._run_actions(register.pre_actions, context, kind="pre")
         raw = self.bus.read(self._address(register.read_port),
                             self._port_width(register.read_port))
-        self._run_actions(register.post_actions, context)
+        self._run_actions(register.post_actions, context, kind="post")
         self._run_actions(register.set_actions, context)
         self._register_cache[name] = raw
         return raw
@@ -261,11 +276,11 @@ class DeviceInstance:
                 f"register {name!r} is read-only", register.location)
         self._check_mode(register)
         context = context or {}
-        self._run_actions(register.pre_actions, context)
+        self._run_actions(register.pre_actions, context, kind="pre")
         self.bus.write(register.mask.apply_write(raw),
                        self._address(register.write_port),
                        self._port_width(register.write_port))
-        self._run_actions(register.post_actions, context)
+        self._run_actions(register.post_actions, context, kind="post")
         self._run_actions(register.set_actions, context)
         self._register_cache[name] = raw & register.mask.variable_bits
 
@@ -398,7 +413,8 @@ class DeviceInstance:
             self.write_register(register_name, composed,
                                 context={name: value})
         self._last_written[name] = value
-        self._run_actions(variable.set_actions, {name: value})
+        self._run_actions(variable.set_actions, {name: value},
+                          kind="var-set")
 
     # ------------------------------------------------------------------
     # Transactions: factorized device communication (§6 future work)
@@ -463,7 +479,8 @@ class DeviceInstance:
             self.write_register(register_name, composed, context=values)
         for variable_name in transaction["variables"]:
             variable = self.model.variables[variable_name]
-            self._run_actions(variable.set_actions, values)
+            self._run_actions(variable.set_actions, values,
+                              kind="var-set")
 
     def _encode(self, variable: ResolvedVariable, value: object) -> int:
         if self.debug:
@@ -558,7 +575,8 @@ class DeviceInstance:
         for member_name, value in values.items():
             member = self.model.variables[member_name]
             self._last_written[member_name] = value
-            self._run_actions(member.set_actions, dict(values))
+            self._run_actions(member.set_actions, dict(values),
+                              kind="var-set")
 
     # ------------------------------------------------------------------
     # Block transfer
@@ -595,11 +613,11 @@ class DeviceInstance:
             raise DevilRuntimeError(
                 f"register {register.name!r} is write-only",
                 register.location)
-        self._run_actions(register.pre_actions, {})
+        self._run_actions(register.pre_actions, {}, kind="pre")
         values = self.bus.block_read(self._address(register.read_port),
                                      count,
                                      self._port_width(register.read_port))
-        self._run_actions(register.post_actions, {})
+        self._run_actions(register.post_actions, {}, kind="post")
         self._run_actions(register.set_actions, {})
         return values
 
@@ -611,11 +629,11 @@ class DeviceInstance:
             raise DevilRuntimeError(
                 f"register {register.name!r} is read-only",
                 register.location)
-        self._run_actions(register.pre_actions, {})
+        self._run_actions(register.pre_actions, {}, kind="pre")
         count = self.bus.block_write(self._address(register.write_port),
                                      values,
                                      self._port_width(register.write_port))
-        self._run_actions(register.post_actions, {})
+        self._run_actions(register.post_actions, {}, kind="post")
         self._run_actions(register.set_actions, {})
         return count
 

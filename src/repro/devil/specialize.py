@@ -79,11 +79,19 @@ class _Specializer:
     """
 
     def __init__(self, model: ResolvedDevice, bases: dict[str, int],
-                 debug: bool, composition: str):
+                 debug: bool, composition: str,
+                 instrumented: bool = False):
         self.model = model
         self.bases = dict(bases)
         self.debug = debug
         self.composition = composition
+        #: When True (telemetry enabled at bind time), every action
+        #: site additionally emits an ``_obs_act(kind, target)`` probe
+        #: mirroring the interpreter's ``_run_actions`` recording, so
+        #: span action streams are identical across strategies.  The
+        #: uninstrumented source is byte-identical to a telemetry-free
+        #: build.
+        self.instrumented = instrumented
         self.lines: list[str] = []
         self._indent = 0
         #: Objects injected into the exec globals (tables, locations...).
@@ -207,8 +215,11 @@ class _Specializer:
         raise AssertionError(f"unexpected action value {value!r}")
 
     def _emit_action(self, action: ResolvedAction,
-                     context: dict[str, str]) -> None:
+                     context: dict[str, str],
+                     kind: str = "reg-set") -> None:
         loc_expr = self._loc(action.location)
+        if self.instrumented:
+            self._w(f"_obs_act({kind!r}, {action.target!r})")
         if action.target_kind == "structure":
             assert isinstance(action.value, dict)
             if action.target in self.model.structures and \
@@ -238,9 +249,10 @@ class _Specializer:
             self._w(f"_set({action.target!r}, {expr})")
 
     def _emit_actions(self, actions: list[ResolvedAction],
-                      context: dict[str, str]) -> None:
+                      context: dict[str, str],
+                      kind: str = "reg-set") -> None:
         for action in actions:
-            self._emit_action(action, context)
+            self._emit_action(action, context, kind)
 
     # -- debug checks -------------------------------------------------
 
@@ -263,10 +275,10 @@ class _Specializer:
         port = register.read_port
         assert port is not None
         self._emit_mode_check(register)
-        self._emit_actions(register.pre_actions, context)
+        self._emit_actions(register.pre_actions, context, "pre")
         self._w(f"raw_{register.name} = "
                 f"_read({self._address(port):#x}, {self._port_width(port)})")
-        self._emit_actions(register.post_actions, context)
+        self._emit_actions(register.post_actions, context, "post")
         self._emit_actions(register.set_actions, context)
         # The interpreter caches the full raw value after the actions.
         self._w(f"_rc[{register.name!r}] = raw_{register.name}")
@@ -279,12 +291,12 @@ class _Specializer:
         name = register.name
         self._w(f"_w_{name} = {composed}")
         self._emit_mode_check(register)
-        self._emit_actions(register.pre_actions, context)
+        self._emit_actions(register.pre_actions, context, "pre")
         forced = register.mask.forced_value
         on_bus = f"_w_{name} | {forced:#x}" if forced else f"_w_{name}"
         self._w(f"_write({on_bus}, {self._address(port):#x}, "
                 f"{self._port_width(port)})")
-        self._emit_actions(register.post_actions, context)
+        self._emit_actions(register.post_actions, context, "post")
         self._emit_actions(register.set_actions, context)
         self._w(f"_rc[{name!r}] = _w_{name}")
 
@@ -589,7 +601,7 @@ class _Specializer:
             composed = self._compose_var_write(register, variable)
             self._emit_register_write(register, composed, context)
         self._w(f"_lw[{name!r}] = value")
-        self._emit_actions(variable.set_actions, context)
+        self._emit_actions(variable.set_actions, context, "var-set")
         self._pop()
         self._w()
 
@@ -639,7 +651,7 @@ class _Specializer:
         for member in post_members:
             self._w(f"def _p_{structure_name}_{member.name}(values):")
             self._push()
-            self._emit_actions(member.set_actions, context)
+            self._emit_actions(member.set_actions, context, "var-set")
             self._pop()
             self._w()
         posts = ", ".join(f"{m.name!r}: _p_{structure_name}_{m.name}"
@@ -717,10 +729,10 @@ class _Specializer:
             self._push()
             if shape_ok and register is not None and register.readable:
                 port = register.read_port
-                self._emit_actions(register.pre_actions, {})
+                self._emit_actions(register.pre_actions, {}, "pre")
                 self._w(f"_vals = _block_read({self._address(port):#x}, "
                         f"count, {self._port_width(port)})")
-                self._emit_actions(register.post_actions, {})
+                self._emit_actions(register.post_actions, {}, "post")
                 self._emit_actions(register.set_actions, {})
                 self._w("return _vals")
             else:
@@ -734,10 +746,10 @@ class _Specializer:
             self._push()
             if shape_ok and register is not None and register.writable:
                 port = register.write_port
-                self._emit_actions(register.pre_actions, {})
+                self._emit_actions(register.pre_actions, {}, "pre")
                 self._w(f"_n = _block_write({self._address(port):#x}, "
                         f"values, {self._port_width(port)})")
-                self._emit_actions(register.post_actions, {})
+                self._emit_actions(register.post_actions, {}, "post")
                 self._emit_actions(register.set_actions, {})
                 self._w("return _n")
             else:
@@ -750,7 +762,8 @@ class _Specializer:
     def generate(self) -> str:
         model = self.model
         self._w(f"# Specialized stubs for {model.name!r} "
-                f"(debug={self.debug}, composition={self.composition!r}).")
+                f"(debug={self.debug}, composition={self.composition!r}, "
+                f"instrumented={self.instrumented}).")
         self._w("# Generated by repro.devil.specialize; do not edit.")
         self._w()
         self._w("def _factory(_I):")
@@ -789,6 +802,16 @@ class _Specializer:
                 "was written to it' % (name,), loc)")
         self._pop()
         self._w()
+        if self.instrumented:
+            self._w("def _obs_act(kind, target):")
+            self._push()
+            self._w("_c = _bus.collector")
+            self._w("if _c is not None:")
+            self._push()
+            self._w("_c.record_action(kind, target)")
+            self._pop()
+            self._pop()
+            self._w()
 
         public: list[tuple[str, str]] = []  # (attach name, function name)
         for variable in model.variables.values():
@@ -844,17 +867,23 @@ _FACTORY_CACHE: dict[int, tuple[ResolvedDevice, dict]] = {}
 
 
 def specialized_factory(model: ResolvedDevice, bases: dict[str, int],
-                        debug: bool, composition: str):
+                        debug: bool, composition: str,
+                        instrumented: bool = False):
     """Return ``(factory, source, stub_names)`` for one specialization key.
 
     Generation, ``compile`` and ``exec`` run once per key; rebinding the
     same specification at the same addresses only re-runs the factory.
+    ``instrumented`` selects the telemetry variant (action probes
+    emitted inline); it is part of the key, so enabling
+    :mod:`repro.obs` never mutates sources served to uninstrumented
+    bindings.
     """
-    key = (tuple(sorted(bases.items())), debug, composition)
+    key = (tuple(sorted(bases.items())), debug, composition, instrumented)
     _, per_model = _FACTORY_CACHE.setdefault(id(model), (model, {}))
     entry = per_model.get(key)
     if entry is None:
-        specializer = _Specializer(model, bases, debug, composition)
+        specializer = _Specializer(model, bases, debug, composition,
+                                   instrumented)
         source = specializer.generate()
         code = compile(source, f"<devil-specialize:{model.name}>", "exec")
         namespace = specializer.namespace
@@ -868,9 +897,11 @@ def specialized_factory(model: ResolvedDevice, bases: dict[str, int],
 def generate_specialized_source(model: ResolvedDevice,
                                 bases: dict[str, int],
                                 debug: bool = True,
-                                composition: str = "cache") -> str:
+                                composition: str = "cache",
+                                instrumented: bool = False) -> str:
     """The generated factory source (for inspection and tests)."""
-    return _Specializer(model, bases, debug, composition).generate()
+    return _Specializer(model, bases, debug, composition,
+                        instrumented).generate()
 
 
 def specialize_instance(instance) -> None:
@@ -883,7 +914,8 @@ def specialize_instance(instance) -> None:
     """
     factory, source, stub_names = specialized_factory(
         instance.model, instance.bases, instance.debug,
-        instance.composition)
+        instance.composition,
+        instrumented=getattr(instance, "_instrumented", False))
     stubs = factory(instance)
     instance._specialized_source = source
     instance._specialized_stubs = stubs

@@ -1,0 +1,140 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` and text profiles.
+
+Three consumers, three formats:
+
+* :func:`to_jsonl` — one span per line, schema-checked in CI against
+  ``docs/trace_schema.json``; the stable machine interface.
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON object
+  format (``{"traceEvents": [...]}``), loadable in Perfetto or
+  ``about:tracing``: spans become complete (``"ph": "X"``) events on
+  one track per device, with the attributed port I/O and fired actions
+  in ``args``.
+* :func:`hot_report` — a "hot variables" text profile (top device
+  variables by calls, I/O operations and time) plus the metrics
+  rollups, for terminals and commit-able results files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .metrics import MetricsRegistry
+from .spans import Span
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(spans: Iterable[Span], stream: IO[str]) -> int:
+    """Write one JSON object per span; returns the line count."""
+    count = 0
+    for span in spans:
+        stream.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event (Perfetto / about:tracing)
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> dict:
+    """Spans as a Chrome ``trace_event`` JSON object.
+
+    Timestamps are rebased to the first span so traces start at zero;
+    durations below the format's microsecond resolution are clamped to
+    a visible minimum.  One ``tid`` per device keeps multi-device
+    machines (IDE + PIIX4) on separate tracks.
+    """
+    spans = list(spans)
+    origin = min((span.start for span in spans), default=0.0)
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in spans:
+        tid = tids.setdefault(span.device, len(tids) + 1)
+        events.append({
+            "name": span.stub,
+            "cat": f"devil,{span.kind},{span.strategy}",
+            "ph": "X",
+            "ts": (span.start - origin) * 1e6,
+            "dur": max(span.duration * 1e6, 0.01),
+            "pid": 1,
+            "tid": tid,
+            "args": {
+                "variable": span.variable,
+                "kind": span.kind,
+                "strategy": span.strategy,
+                "seq": span.seq,
+                "io": [[e.op, e.port, e.value, e.width, e.count]
+                       for e in span.io],
+                "actions": [list(pair) for pair in span.actions],
+                **({"error": span.error} if span.error else {}),
+            },
+        })
+    thread_meta = [
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+         "args": {"name": device}}
+        for device, tid in sorted(tids.items(), key=lambda kv: kv[1])]
+    return {
+        "traceEvents": thread_meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs (Devil reproduction)"},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Text profile
+# ---------------------------------------------------------------------------
+
+
+def hot_report(spans: Iterable[Span],
+               metrics: MetricsRegistry | None = None,
+               top: int = 10) -> str:
+    """The "hot variables" profile: where a workload spends its I/O."""
+    spans = list(spans)
+    per_variable: dict[tuple[str, str], dict] = {}
+    for span in spans:
+        row = per_variable.setdefault(
+            (span.device, span.variable),
+            {"calls": 0, "io_ops": 0, "io_words": 0, "us": 0.0,
+             "actions": 0})
+        row["calls"] += 1
+        row["io_ops"] += span.io_ops
+        row["io_words"] += span.io_words
+        row["us"] += span.duration * 1e6
+        row["actions"] += len(span.actions)
+
+    total_io = sum(row["io_ops"] for row in per_variable.values())
+    lines = [
+        f"hot device variables ({len(spans)} spans, "
+        f"{total_io} attributed I/O operations; top {top} by words):",
+        "",
+        f"{'device':<20} {'variable':<22} {'calls':>6} {'io':>5} "
+        f"{'words':>6} {'actions':>8} {'us':>9} {'io%':>5}",
+    ]
+    # Words first: one rep transfer is one operation but moves an
+    # entire sector, and that is what "hot" should surface.
+    ranked = sorted(per_variable.items(),
+                    key=lambda kv: (-kv[1]["io_words"], -kv[1]["io_ops"],
+                                    -kv[1]["calls"], kv[0]))
+    for (device, variable), row in ranked[:top]:
+        share = 100.0 * row["io_ops"] / total_io if total_io else 0.0
+        lines.append(
+            f"{device:<20} {variable:<22} {row['calls']:>6} "
+            f"{row['io_ops']:>5} {row['io_words']:>6} "
+            f"{row['actions']:>8} {row['us']:>9.1f} {share:>4.0f}%")
+    if len(ranked) > top:
+        lines.append(f"... and {len(ranked) - top} more variables")
+
+    if metrics is not None:
+        dropped = metrics.value("bus.trace_dropped")
+        unattributed = sum(m.value
+                           for m in metrics.find("io.unattributed"))
+        lines += ["",
+                  f"trace entries dropped (ring buffer): {dropped}",
+                  f"unattributed I/O operations: {unattributed}"]
+    return "\n".join(lines)

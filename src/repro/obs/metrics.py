@@ -1,0 +1,164 @@
+"""Zero-dependency metrics registry: counters, histograms, sinks.
+
+The runtime previously exposed exactly one aggregate view of device
+traffic — the flat :class:`repro.bus.IoAccounting` counter block.  This
+module generalises that into a small metrics registry in the style of
+``prometheus_client`` (names + label sets, counters and histograms)
+without taking any dependency: the telemetry collector feeds it
+per-variable, per-register and per-driver rollups, and pluggable sinks
+receive snapshots for export.
+
+Everything here is plain data; nothing imports from :mod:`repro.devil`
+or :mod:`repro.bus`, so the bus and runtime can import this package
+without cycles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+#: Default histogram bucket upper bounds (microseconds-friendly
+#: log-ish scale, similar to Prometheus defaults).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                   500.0, 1000.0, 2500.0, 5000.0, 10000.0)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """A histogram with fixed upper-bound buckets plus sum/min/max."""
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts",
+                 "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, labels: dict[str, str],
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        #: One count per bound, plus a final +Inf overflow slot.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": "histogram", "name": self.name,
+                "labels": dict(self.labels),
+                "count": self.count, "sum": self.total,
+                "min": self.minimum, "max": self.maximum,
+                "buckets": {
+                    **{repr(bound): count for bound, count
+                       in zip(self.buckets, self.bucket_counts)},
+                    "+Inf": self.bucket_counts[-1]}}
+
+
+#: A sink receives the full registry snapshot (a list of metric dicts).
+Sink = Callable[[list[dict]], None]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled metrics.
+
+    ``counter("var.calls", device="ide", variable="head")`` returns the
+    same :class:`Counter` for the same name + label set, so call sites
+    never hold references across rebinds.  :meth:`flush` pushes a
+    snapshot to every registered sink — the pluggable-export point
+    (JSONL writers, CI trend collectors, test probes).
+    """
+
+    def __init__(self):
+        self._metrics: dict[tuple, Counter | Histogram] = {}
+        self._sinks: list[Sink] = []
+
+    # -- construction ---------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = ("counter", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Counter(name, labels)
+        return metric  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        key = ("histogram", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(name, labels, buckets)
+        return metric  # type: ignore[return-value]
+
+    # -- inspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> list[dict]:
+        """Every metric as plain data, deterministically ordered."""
+        return [self._metrics[key].snapshot()
+                for key in sorted(self._metrics)]
+
+    def value(self, name: str, **labels: str) -> int:
+        """Current value of a counter (0 if it never fired)."""
+        key = ("counter", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        return metric.value if metric is not None else 0  # type: ignore
+
+    def find(self, name: str) -> list[Counter | Histogram]:
+        """Every metric registered under ``name``, any label set."""
+        return [metric for (_, metric_name, _), metric
+                in sorted(self._metrics.items())
+                if metric_name == name]
+
+    # -- sinks ----------------------------------------------------------
+
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+
+    def flush(self) -> list[dict]:
+        """Snapshot once and hand it to every sink; returns it too."""
+        snapshot = self.snapshot()
+        for sink in self._sinks:
+            sink(snapshot)
+        return snapshot

@@ -1,0 +1,379 @@
+"""Variable-level telemetry spans and the collecting observer.
+
+A *span* covers one public stub call — ``get_dx()``,
+``set_left_dac_output(...)``, ``read_ide_data_block(256)`` — and records
+the device, the device variable (or structure), the access kind, the
+execution strategy, the pre/post/set actions that fired, and the exact
+port I/O the call caused.  The flat :attr:`repro.bus.Bus.trace` thereby
+becomes *attributable*: every port access belongs to exactly one device
+variable.
+
+Spans never nest.  The runtime's action machinery re-enters the stub
+layer (a ``pre`` action on an index register calls the index variable's
+setter; the specializer inlines the same call; the generated backend
+routes it through the public method), and the three execution
+strategies re-enter at different depths.  The collector therefore
+counts depth and only materialises the *outermost* stub call — which is
+exactly the granularity the paper argues for: driver-visible operations
+on device variables, not raw signal events.  Parity of span streams
+across strategies is asserted by ``tests/test_obs.py``.
+
+The collector is attached to a :class:`repro.bus.Bus` via its
+``collector`` attribute; instrumented stubs find it there at call time,
+so a single bound instance can be observed, detached and re-observed
+without rebinding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class IoEvent:
+    """One bus operation attributed to a span.
+
+    ``op`` follows :class:`repro.bus.IoTraceEntry` ('r', 'w', 'rb',
+    'wb'); ``count`` is the word count of a block transfer (1 for
+    single accesses); ``value`` is the transferred value for single
+    accesses and ``None`` for block transfers (the per-word data lives
+    in the bus trace).
+    """
+
+    op: str
+    port: int
+    value: int | None
+    width: int
+    count: int = 1
+
+
+@dataclass
+class Span:
+    """One observed device-variable access."""
+
+    device: str
+    #: Public stub name (``get_dx``, ``write_fb_data_block``...).
+    stub: str
+    #: Device variable or structure the stub accesses.
+    variable: str
+    #: ``get``/``set``/``get_struct``/``set_struct``/``block_read``/
+    #: ``block_write``.
+    kind: str
+    strategy: str
+    start: float = 0.0
+    duration: float = 0.0
+    seq: int = 0
+    io: list[IoEvent] = field(default_factory=list)
+    #: ``(action_kind, target)`` pairs in firing order; action_kind is
+    #: ``pre``/``post``/``reg-set`` (register-attached) or ``var-set``
+    #: (variable-attached, after the write).
+    actions: list[tuple[str, str]] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def io_ops(self) -> int:
+        return len(self.io)
+
+    @property
+    def io_words(self) -> int:
+        return sum(event.count for event in self.io)
+
+    def signature(self) -> tuple:
+        """Strategy- and timing-independent identity, for parity checks."""
+        return (self.device, self.stub, self.variable, self.kind,
+                tuple((e.op, e.port, e.value, e.width, e.count)
+                      for e in self.io),
+                tuple(self.actions), self.error)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (the JSONL record)."""
+        return {
+            "device": self.device,
+            "stub": self.stub,
+            "variable": self.variable,
+            "kind": self.kind,
+            "strategy": self.strategy,
+            "seq": self.seq,
+            "start_us": self.start * 1e6,
+            "dur_us": self.duration * 1e6,
+            "io": [{"op": e.op, "port": e.port, "value": e.value,
+                    "width": e.width, "count": e.count}
+                   for e in self.io],
+            "actions": [{"kind": kind, "target": target}
+                        for kind, target in self.actions],
+            "error": self.error,
+        }
+
+
+class Collector:
+    """Receives span, action and I/O events; aggregates metrics.
+
+    One collector can observe several buses and devices at once (the
+    IDE + PIIX4 machine binds two instances to one bus).  Port→register
+    attribution maps are registered per device at bind time so the
+    metrics rollups can report per-register traffic without the bus
+    knowing anything about Devil models.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 clock=time.perf_counter):
+        self.spans: list[Span] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._open: Span | None = None
+        self._depth = 0
+        self._seq = 0
+        self._clock = clock
+        #: ``port -> (device, register)`` for metrics attribution.
+        self._port_map: dict[int, tuple[str, str]] = {}
+
+    # -- wiring ---------------------------------------------------------
+
+    def register_ports(self, device: str,
+                       ports: dict[int, str]) -> None:
+        """Record that ``ports`` (absolute) belong to ``device``'s
+        registers, for per-register rollups."""
+        for port, register in ports.items():
+            self._port_map[port] = (device, register)
+
+    # -- span lifecycle (called by instrumented stubs) -------------------
+
+    def span_start(self, device: str, stub: str, variable: str,
+                   kind: str, strategy: str) -> None:
+        if self._depth:
+            self._depth += 1
+            return
+        self._depth = 1
+        self._open = Span(device=device, stub=stub, variable=variable,
+                          kind=kind, strategy=strategy,
+                          start=self._clock())
+
+    def span_end(self, error: str | None = None) -> None:
+        self._depth -= 1
+        span = self._open
+        if self._depth or span is None:
+            if error is not None and span is not None \
+                    and span.error is None:
+                span.error = error
+            return
+        self._open = None
+        span.duration = self._clock() - span.start
+        if error is not None and span.error is None:
+            span.error = error
+        span.seq = self._seq
+        self._seq += 1
+        self.spans.append(span)
+        self._roll_up(span)
+
+    # -- event feeds (bus and runtimes) ---------------------------------
+
+    def io_event(self, op: str, port: int, value: int | None,
+                 width: int, count: int = 1) -> None:
+        span = self._open
+        if span is not None:
+            span.io.append(IoEvent(op, port, value, width, count))
+        else:
+            self.metrics.counter("io.unattributed", op=op).inc()
+
+    def record_action(self, kind: str, target: str) -> None:
+        span = self._open
+        if span is not None:
+            span.actions.append((kind, target))
+
+    def record_trace_drops(self, dropped: int) -> None:
+        """Surface the bus ring-buffer drop count (absolute value)."""
+        counter = self.metrics.counter("bus.trace_dropped")
+        if dropped > counter.value:
+            counter.inc(dropped - counter.value)
+
+    # -- metrics rollups -------------------------------------------------
+
+    def _roll_up(self, span: Span) -> None:
+        metrics = self.metrics
+        device, variable = span.device, span.variable
+        metrics.counter("var.calls", device=device, variable=variable,
+                        kind=span.kind).inc()
+        metrics.counter("dev.calls", device=device).inc()
+        if span.io:
+            metrics.counter("var.io_ops", device=device,
+                            variable=variable).inc(span.io_ops)
+            metrics.counter("var.io_words", device=device,
+                            variable=variable).inc(span.io_words)
+            metrics.counter("dev.io_ops", device=device).inc(span.io_ops)
+        metrics.histogram("var.us", device=device,
+                          variable=variable).observe(span.duration * 1e6)
+        for event in span.io:
+            owner = self._port_map.get(event.port)
+            if owner is None:
+                continue
+            owner_device, register = owner
+            direction = "reads" if event.op in ("r", "rb") else "writes"
+            metrics.counter(f"reg.{direction}", device=owner_device,
+                            register=register).inc()
+            metrics.counter("reg.words", device=owner_device,
+                            register=register).inc(event.count)
+
+    # -- convenience ------------------------------------------------------
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._seq = 0
+
+    def signatures(self) -> list[tuple]:
+        return [span.signature() for span in self.spans]
+
+
+# ---------------------------------------------------------------------------
+# Stub instrumentation (shared by the interpreter and the specializer)
+# ---------------------------------------------------------------------------
+
+
+def wrap_stub(bus, device: str, stub: str, variable: str, kind: str,
+              strategy: str, func):
+    """Wrap one bound stub so each call opens/closes a span.
+
+    The wrapper resolves ``bus.collector`` per call: when no collector
+    is attached the only cost is one attribute load and an ``is None``
+    test, and attaching/detaching a collector needs no rebinding.
+    """
+
+    def observed(*args, **kwargs):
+        collector = bus.collector
+        if collector is None:
+            return func(*args, **kwargs)
+        collector.span_start(device, stub, variable, kind, strategy)
+        try:
+            result = func(*args, **kwargs)
+        except BaseException as error:
+            collector.span_end(error=type(error).__name__)
+            raise
+        collector.span_end()
+        return result
+
+    observed.__name__ = getattr(func, "__name__", stub)
+    observed.__doc__ = getattr(func, "__doc__", None)
+    observed.__wrapped__ = func
+    return observed
+
+
+def stub_catalog(model) -> list[tuple[str, str, str]]:
+    """``(stub_name, variable, kind)`` for every public stub of a model.
+
+    Mirrors the attachment rules of
+    :meth:`repro.devil.runtime.DeviceInstance._attach_stubs` — the same
+    catalogue drives instrumentation of interpreted and specialized
+    instances, so the two strategies cannot disagree about what is
+    observable.
+    """
+    def readable(variable):
+        return variable.memory or all(
+            model.registers[c.register].readable
+            for c in variable.chunks)
+
+    def writable(variable):
+        return variable.memory or all(
+            model.registers[c.register].writable
+            for c in variable.chunks)
+
+    catalog: list[tuple[str, str, str]] = []
+    for variable in model.public_variables():
+        name = variable.name
+        if readable(variable):
+            catalog.append((f"get_{name}", name, "get"))
+        if writable(variable):
+            catalog.append((f"set_{name}", name, "set"))
+        if variable.behaviors.block:
+            if readable(variable):
+                catalog.append((f"read_{name}_block", name, "block_read"))
+            if writable(variable):
+                catalog.append((f"write_{name}_block", name,
+                                "block_write"))
+    for structure in model.structures.values():
+        members = [model.variables[m] for m in structure.members]
+        if all(readable(m) for m in members):
+            catalog.append((f"get_{structure.name}", structure.name,
+                            "get_struct"))
+        if all(writable(m) for m in members):
+            catalog.append((f"set_{structure.name}", structure.name,
+                            "set_struct"))
+    return catalog
+
+
+def instrument_instance(instance) -> None:
+    """Wrap every public stub attribute of a bound ``DeviceInstance``.
+
+    Called once at bind time (interpreted strategy) or after
+    specialization replaced the stub attributes; also registers the
+    instance's absolute port→register map with any future collector via
+    ``instance._obs_ports`` (the CLI and tests feed it to
+    :meth:`Collector.register_ports`).
+    """
+    model = instance.model
+    bus = instance.bus
+    device = model.name
+    strategy = instance.strategy
+    for stub, variable, kind in stub_catalog(model):
+        func = getattr(instance, stub, None)
+        if func is None:
+            continue
+        setattr(instance, stub,
+                wrap_stub(bus, device, stub, variable, kind, strategy,
+                          func))
+    instance._obs_ports = port_map(instance)
+
+
+def port_map(instance) -> dict[int, str]:
+    """``absolute port -> register name`` for one bound instance."""
+    return model_port_map(instance.model, instance.bases)
+
+
+def model_port_map(model, bases: dict[str, int]) -> dict[int, str]:
+    """``absolute port -> register name`` for a model at ``bases``.
+
+    Read and write ports are both attributed; when two registers share
+    a port (index-addressed register files) the first declaration wins,
+    which matches how the hardware multiplexes them.
+    """
+    ports: dict[int, str] = {}
+    for name, register in model.registers.items():
+        for port in (register.read_port, register.write_port):
+            if port is None:
+                continue
+            absolute = bases[port[0]] + port[1]
+            ports.setdefault(absolute, name)
+    return ports
+
+
+class BusObserver:
+    """Adapter giving generated stub modules ``bus.collector`` semantics.
+
+    An observe-mode generated module reports to whatever ``observer``
+    it was constructed with.  Handing it a ``BusObserver`` makes that
+    report resolve the bus's attached collector *per call* — a
+    generated instance can then be observed, detached and re-observed
+    without reconstruction, exactly like instrumented interpreted and
+    specialized instances (whose wrappers resolve ``bus.collector``
+    themselves).
+    """
+
+    __slots__ = ("_bus",)
+
+    def __init__(self, bus):
+        self._bus = bus
+
+    def span_start(self, device, stub, variable, kind, strategy):
+        collector = self._bus.collector
+        if collector is not None:
+            collector.span_start(device, stub, variable, kind, strategy)
+
+    def span_end(self, error=None):
+        collector = self._bus.collector
+        if collector is not None:
+            collector.span_end(error)
+
+    def record_action(self, kind, target):
+        collector = self._bus.collector
+        if collector is not None:
+            collector.record_action(kind, target)

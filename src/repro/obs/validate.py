@@ -1,0 +1,139 @@
+"""A dependency-free validator for the JSONL trace schema.
+
+Implements exactly the JSON-Schema subset ``docs/trace_schema.json``
+uses — ``type`` (with union lists), ``enum``, ``required``,
+``properties``, ``additionalProperties: false``, ``items`` and
+``minimum`` — so CI can assert the machine interface of
+``devil trace --format=jsonl`` without installing ``jsonschema``.
+
+Usage::
+
+    python -m repro.obs.validate docs/trace_schema.json trace.jsonl
+
+validates every line of ``trace.jsonl`` and exits non-zero on the
+first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaViolation(ValueError):
+    """The instance does not conform to the schema."""
+
+
+def _check_type(instance, expected: str, path: str) -> None:
+    python_type = _TYPES.get(expected)
+    if python_type is None:
+        raise SchemaViolation(f"{path}: unsupported schema type "
+                              f"{expected!r}")
+    ok = isinstance(instance, python_type)
+    # bool is a subclass of int in Python; JSON keeps them distinct.
+    if expected in ("number", "integer") and isinstance(instance, bool):
+        ok = False
+    if not ok:
+        raise SchemaViolation(
+            f"{path}: expected {expected}, got "
+            f"{type(instance).__name__} ({instance!r})")
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Raise :class:`SchemaViolation` unless ``instance`` conforms."""
+    if "enum" in schema:
+        if instance not in schema["enum"]:
+            raise SchemaViolation(
+                f"{path}: {instance!r} not one of {schema['enum']!r}")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        if isinstance(expected, list):
+            if not any(_conforms_type(instance, one) for one in expected):
+                raise SchemaViolation(
+                    f"{path}: expected one of {expected!r}, got "
+                    f"{type(instance).__name__}")
+        else:
+            _check_type(instance, expected, path)
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            raise SchemaViolation(
+                f"{path}: {instance!r} below minimum "
+                f"{schema['minimum']!r}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaViolation(f"{path}: missing required "
+                                      f"property {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                validate(value, properties[name], f"{path}.{name}")
+            elif schema.get("additionalProperties", True) is False:
+                raise SchemaViolation(f"{path}: unexpected property "
+                                      f"{name!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{index}]")
+
+
+def _conforms_type(instance, expected: str) -> bool:
+    try:
+        _check_type(instance, expected, "$")
+    except SchemaViolation:
+        return False
+    return True
+
+
+def validate_jsonl(schema: dict, lines) -> int:
+    """Validate each non-empty line; returns the record count."""
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SchemaViolation(f"line {number}: not JSON: {error}")
+        try:
+            validate(record, schema)
+        except SchemaViolation as error:
+            raise SchemaViolation(f"line {number}: {error}")
+        count += 1
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if len(arguments) != 2:
+        print("usage: python -m repro.obs.validate SCHEMA.json "
+              "DATA.jsonl", file=sys.stderr)
+        return 2
+    schema_path, data_path = arguments
+    with open(schema_path, encoding="utf-8") as handle:
+        schema = json.load(handle)
+    try:
+        with open(data_path, encoding="utf-8") as handle:
+            count = validate_jsonl(schema, handle)
+    except SchemaViolation as error:
+        print(f"{data_path}: {error}", file=sys.stderr)
+        return 1
+    print(f"{data_path}: {count} record(s) conform to "
+          f"{schema.get('title', schema_path)!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,17 +19,18 @@ from repro.devices.permedia2 import REGION_SIZE as PM2_REGION
 from repro.devices.permedia2 import Permedia2Aperture, Permedia2Model
 from repro.devices.piix4 import REGION_SIZE as BM_REGION
 from repro.devices.piix4 import Piix4Model
+from repro.obs.workloads import (
+    BM_BASE,
+    IDE_BASE,
+    IDE_CTRL,
+    MOUSE_BASE,
+    NE_BASE,
+    NE_DATA,
+    NE_RESET,
+    PM2_FB,
+    PM2_REGS,
+)
 from repro.specs import SPEC_NAMES, compile_shipped
-
-MOUSE_BASE = 0x23C
-IDE_BASE = 0x1F0
-IDE_CTRL = 0x3F6
-BM_BASE = 0xC000
-NE_BASE = 0x300
-NE_DATA = 0x310
-NE_RESET = 0x31F
-PM2_REGS = 0xF000
-PM2_FB = 0xF800
 
 def shipped_spec(name: str):
     """Compile a shipped spec once per process.
