@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Port-I/O-count regression gate.
+
+Every shipped workload (and its transactional variant) has a golden
+port-I/O profile checked in under ``results/io_golden.json``: total
+operations, reads, writes, block transfers, elided reads and coalesced
+writes, with the shadow cache off and on.  The gate recomputes the
+profile under **all three** execution strategies, fails if the
+strategies disagree with each other (the parity invariant) and fails
+if any count drifts from the golden file — a one-operation regression
+in any stub is a CI failure, exactly like a perf budget.
+
+Run with ``--write`` after an intentional change to re-bless the file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_io_golden.py [--write]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.obs.workloads import (
+    STRATEGIES,
+    TXN_WORKLOADS,
+    WORKLOADS,
+    run_txn_workload,
+    run_workload,
+)
+
+GOLDEN = pathlib.Path(__file__).resolve().parent.parent / \
+    "results" / "io_golden.json"
+
+COUNTERS = ("total_ops", "reads", "writes", "block_ops",
+            "elided_reads", "coalesced_writes")
+
+
+def _profile(accounting) -> dict:
+    return {counter: getattr(accounting, counter)
+            for counter in COUNTERS}
+
+
+def measure() -> dict:
+    """The current I/O profile of every workload, parity-checked."""
+    table: dict = {"workloads": {}, "txn_workloads": {}}
+    suites = (("workloads", WORKLOADS, run_workload),
+              ("txn_workloads", TXN_WORKLOADS, run_txn_workload))
+    for section, drivers, runner in suites:
+        for name in sorted(drivers):
+            row: dict = {}
+            for label, shadow in (("plain", False), ("shadow", True)):
+                profiles = {
+                    strategy: _profile(
+                        runner(name, strategy, shadow_cache=shadow)[2])
+                    for strategy in STRATEGIES}
+                reference = profiles["interpret"]
+                for strategy, profile in profiles.items():
+                    if profile != reference:
+                        raise SystemExit(
+                            f"parity violation: {section}/{name} "
+                            f"({label}) {strategy}={profile} "
+                            f"interpret={reference}")
+                row[label] = reference
+            table[section][name] = row
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="re-bless results/io_golden.json")
+    options = parser.parse_args(argv)
+
+    current = measure()
+    if options.write:
+        GOLDEN.write_text(json.dumps(current, indent=2,
+                                     sort_keys=True) + "\n")
+        print(f"wrote {GOLDEN}")
+        return 0
+
+    golden = json.loads(GOLDEN.read_text())
+    failures = []
+    for section in ("workloads", "txn_workloads"):
+        for name in sorted(set(golden[section]) | set(current[section])):
+            expected = golden[section].get(name)
+            actual = current[section].get(name)
+            if expected != actual:
+                failures.append(
+                    f"{section}/{name}:\n"
+                    f"  golden:  {json.dumps(expected, sort_keys=True)}\n"
+                    f"  current: {json.dumps(actual, sort_keys=True)}")
+    if failures:
+        print("port-I/O count regression(s):\n" + "\n".join(failures))
+        print("\nIf the change is intentional, re-bless with:\n"
+              "  PYTHONPATH=src python benchmarks/check_io_golden.py "
+              "--write")
+        return 1
+    total = sum(len(golden[section]) for section in golden)
+    print(f"io golden: {total} workload profiles match "
+          f"({len(STRATEGIES)} strategies each)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,15 @@ class IoAccounting:
     single_by_width: dict = field(default_factory=dict)
     #: Block-transferred words by access width.
     block_words_by_width: dict = field(default_factory=dict)
+    #: Reads served from a runtime shadow cache instead of the bus.
+    #: *Not* counted in :attr:`total_ops` — no port operation happened;
+    #: the counter exists so elision is visible, never silent.
+    elided_reads: int = 0
+    #: Register writes merged away by transactional coalescing (the
+    #: writes deferred set calls would have issued, minus the register
+    #: writes the flush actually performed).  Introspection only, like
+    #: :attr:`elided_reads`.
+    coalesced_writes: int = 0
 
     @property
     def single_ops(self) -> int:
@@ -96,12 +105,15 @@ class IoAccounting:
         self.block_words = 0
         self.single_by_width = {}
         self.block_words_by_width = {}
+        self.elided_reads = 0
+        self.coalesced_writes = 0
 
     def snapshot(self) -> "IoAccounting":
         return IoAccounting(self.reads, self.writes,
                             self.block_ops, self.block_words,
                             dict(self.single_by_width),
-                            dict(self.block_words_by_width))
+                            dict(self.block_words_by_width),
+                            self.elided_reads, self.coalesced_writes)
 
     def delta(self, earlier: "IoAccounting") -> "IoAccounting":
         """Counters accumulated since ``earlier`` (a prior snapshot)."""
@@ -118,6 +130,8 @@ class IoAccounting:
             {w: self.block_words_by_width.get(w, 0)
                 - earlier.block_words_by_width.get(w, 0)
              for w in block_widths},
+            self.elided_reads - earlier.elided_reads,
+            self.coalesced_writes - earlier.coalesced_writes,
         )
 
 
@@ -311,6 +325,23 @@ class Bus:
             collector = self.collector
             if collector is not None:
                 collector.io_event("w", port, value, width)
+
+    # ------------------------------------------------------------------
+    # Shadow-cache bookkeeping (no bus traffic)
+    # ------------------------------------------------------------------
+
+    def note_elided(self, count: int = 1) -> None:
+        """Record ``count`` reads served from a shadow cache.
+
+        No port operation happened — nothing is traced and
+        ``total_ops`` is unaffected; the counter keeps elision honest
+        in accounting comparisons.
+        """
+        self.accounting.elided_reads += count
+
+    def note_coalesced(self, count: int = 1) -> None:
+        """Record ``count`` deferred writes merged away at a txn flush."""
+        self.accounting.coalesced_writes += count
 
     # Convenience aliases in driver idiom.
     def inb(self, port: int) -> int:

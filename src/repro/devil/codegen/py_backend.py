@@ -17,6 +17,7 @@ the two implementations of the stub semantics check each other.
 from __future__ import annotations
 
 from ..errors import DevilCodegenError
+from ..plan import access_plan
 from ..model import (
     ParamRef,
     ResolvedAction,
@@ -39,6 +40,29 @@ def _sext(value, width):
 
 class DevilStubError(Exception):
     """A debug-mode check of the generated interface failed."""
+
+
+class _DevilTxn:
+    """Context manager coalescing variable writes (see ``txn()``)."""
+
+    __slots__ = ("_stubs",)
+
+    def __init__(self, stubs):
+        self._stubs = stubs
+
+    def __enter__(self):
+        stubs = self._stubs
+        if stubs._txn is not None:
+            raise DevilStubError("transactions do not nest")
+        stubs._txn = {"registers": {}, "order": [], "variables": {},
+                      "deferred": 0}
+        return stubs
+
+    def __exit__(self, exc_type, exc, tb):
+        stubs = self._stubs
+        txn, stubs._txn = stubs._txn, None
+        stubs._txn_flush(txn)
+        return False
 '''
 
 _OBS_HELPERS = '''\
@@ -93,6 +117,7 @@ class _PyWriter:
     def __init__(self, device: ResolvedDevice, observe: bool = False):
         self.device = device
         self.observe = observe
+        self.plan = access_plan(device)
         self.lines: list[str] = []
         self._indent = 0
         if observe:
@@ -158,6 +183,7 @@ class _PyWriter:
         self._w(f"class {_class_name(self.device.name)}:")
         self._push()
         self._emit_init()
+        self._emit_txn_support()
         for variable in self.device.variables.values():
             if variable.memory:
                 self._emit_memory_accessors(variable)
@@ -172,6 +198,12 @@ class _PyWriter:
                 self._emit_block_stubs(variable)
         self._pop()
         return "\n".join(self.lines) + "\n"
+
+    def _deferrable_variables(self) -> list[ResolvedVariable]:
+        """Variables whose setters can defer into a transaction."""
+        return [v for v in self.device.variables.values()
+                if not v.memory and v.structure is None
+                and self._writable(v)]
 
     def _enum_table_name(self, variable: ResolvedVariable) -> str:
         return f"_ENUM_{variable.name.upper()}"
@@ -192,11 +224,17 @@ class _PyWriter:
     def _emit_init(self) -> None:
         params = ", ".join(f"{name}_base" for name in self.device.params)
         tail = ", observer=None" if self.observe else ""
-        self._w(f"def __init__(self, io, {params}, debug=False{tail}):")
+        self._w(f"def __init__(self, io, {params}, debug=False, "
+                f"shadow_cache=False{tail}):")
         self._push()
         self._w('"""Bind the generated stubs to an I/O provider."""')
         self._w("self._io = io")
         self._w("self._debug = debug")
+        self._w("self._txn = None")
+        self._w("self._shadow = set() if shadow_cache else None")
+        self._w("self._note_elided = getattr(io, 'note_elided', None)")
+        self._w("self._note_coalesced = "
+                "getattr(io, 'note_coalesced', None)")
         if self.observe:
             self._w("self._obs = observer")
         for name in self.device.params:
@@ -216,6 +254,182 @@ class _PyWriter:
             self._w(f"self._fetched_{structure} = False")
         self._pop()
         self._w()
+
+    # -- transactions ---------------------------------------------------
+
+    def _emit_txn_support(self) -> None:
+        """Transaction API: defer/flush machinery plus per-register
+        flush writers, mirroring ``DeviceInstance.transaction``."""
+        self._w("def txn(self):")
+        self._push()
+        self._w('"""Coalesce variable writes: one I/O per touched '
+                'register."""')
+        self._w("return _DevilTxn(self)")
+        self._pop()
+        self._w()
+        self._w("transaction = txn")
+        self._w()
+        self._w("def _txn_defer(self, registers, name, raw, value, "
+                "trigger):")
+        self._push()
+        self._w("txn = self._txn")
+        self._w("if trigger:")
+        self._push()
+        self._w("for reg in registers:")
+        self._push()
+        self._w("pending = txn['registers'].get(reg)")
+        self._w("if pending is not None and name in pending:")
+        self._push()
+        self._w("# A repeated write-trigger write must fire twice.")
+        self._w("self._txn_flush_pending()")
+        self._w("txn = self._txn")
+        self._w("break")
+        self._pop()
+        self._pop()
+        self._pop()
+        self._w("txn_registers = txn['registers']")
+        self._w("for reg in registers:")
+        self._push()
+        self._w("per_register = txn_registers.get(reg)")
+        self._w("if per_register is None:")
+        self._push()
+        self._w("txn_registers[reg] = per_register = {}")
+        self._w("txn['order'].append(reg)")
+        self._pop()
+        self._w("per_register[name] = raw")
+        self._pop()
+        self._w("txn['variables'][name] = value")
+        self._w("txn['deferred'] += len(registers)")
+        self._pop()
+        self._w()
+        self._w("def _txn_flush_pending(self):")
+        self._push()
+        self._w("txn, self._txn = self._txn, None")
+        self._w("self._txn_flush(txn)")
+        self._w("self._txn = {'registers': {}, 'order': [], "
+                "'variables': {}, 'deferred': 0}")
+        self._pop()
+        self._w()
+        self._w("def _txn_flush(self, txn):")
+        self._push()
+        self._w("if not txn['order']:")
+        self._push()
+        self._w("return")
+        self._pop()
+        if self.observe:
+            self._w("obs = self._obs")
+            self._w("if obs is not None:")
+            self._push()
+            self._w("obs.span_start(_DEVICE, 'txn_flush', '*', 'txn', "
+                    "'generated')")
+            self._w("try:")
+            self._push()
+            self._w("self._txn_flush_body(txn)")
+            self._pop()
+            self._w("except BaseException as error:")
+            self._push()
+            self._w("obs.span_end(error=type(error).__name__)")
+            self._w("raise")
+            self._pop()
+            self._w("obs.span_end()")
+            self._w("return")
+            self._pop()
+        self._w("self._txn_flush_body(txn)")
+        self._pop()
+        self._w()
+        self._w("def _txn_flush_body(self, txn):")
+        self._push()
+        self._w("for reg in txn['order']:")
+        self._push()
+        self._w("getattr(self, '_txn_write_' + reg)"
+                "(txn['registers'][reg])")
+        self._pop()
+        self._w("merged = txn['deferred'] - len(txn['order'])")
+        self._w("if merged > 0 and self._note_coalesced is not None:")
+        self._push()
+        self._w("self._note_coalesced(merged)")
+        self._pop()
+        self._w("for name in txn['variables']:")
+        self._push()
+        self._w("post = getattr(self, '_txn_post_' + name, None)")
+        self._w("if post is not None:")
+        self._push()
+        self._w("post(txn['variables'])")
+        self._pop()
+        self._pop()
+        self._pop()
+        self._w()
+        self._emit_txn_writers()
+
+    def _emit_txn_writers(self) -> None:
+        deferrable = self._deferrable_variables()
+        deferrable_names = {v.name for v in deferrable}
+        registers: list[str] = []
+        for variable in deferrable:
+            for register_name in variable.registers():
+                if register_name not in registers:
+                    registers.append(register_name)
+        for register_name in registers:
+            register = self.device.registers[register_name]
+            self._w(f"def _txn_write_{register_name}(self, updates):")
+            self._push()
+            self._w(f"raw = self._cache_{register_name}")
+            for owner in self.device.variables_of_register(register_name):
+                neutral = None
+                if owner.behaviors.write_triggers and \
+                        owner.trigger_neutral_raw is not None:
+                    neutral_bits = 0
+                    neutral_value = 0
+                    for chunk, value_lsb in owner.chunks_of(register_name):
+                        chunk_mask = (1 << chunk.width) - 1
+                        neutral_bits |= chunk_mask << chunk.lsb
+                        field = (owner.trigger_neutral_raw >> value_lsb) \
+                            & chunk_mask
+                        neutral_value |= field << chunk.lsb
+                    neutral = (neutral_bits, neutral_value)
+                if owner.name in deferrable_names:
+                    self_bits = 0
+                    inserts = []
+                    for chunk, value_lsb in owner.chunks_of(register_name):
+                        chunk_mask = (1 << chunk.width) - 1
+                        self_bits |= chunk_mask << chunk.lsb
+                        inserts.append(
+                            f"(((updates[{owner.name!r}] >> {value_lsb})"
+                            f" & 0x{chunk_mask:x}) << {chunk.lsb})")
+                    keep = register.mask.variable_bits & ~self_bits
+                    composed = " | ".join(
+                        [f"(raw & 0x{keep:x})"] + inserts)
+                    self._w(f"if {owner.name!r} in updates:")
+                    self._push()
+                    self._w(f"raw = {composed}")
+                    self._pop()
+                    if neutral is not None:
+                        nbits, nvalue = neutral
+                        nkeep = register.mask.variable_bits & ~nbits
+                        self._w("else:")
+                        self._push()
+                        self._w(f"raw = (raw & 0x{nkeep:x})"
+                                + (f" | 0x{nvalue:x}" if nvalue else ""))
+                        self._pop()
+                elif neutral is not None:
+                    nbits, nvalue = neutral
+                    nkeep = register.mask.variable_bits & ~nbits
+                    self._w(f"raw = (raw & 0x{nkeep:x})"
+                            + (f" | 0x{nvalue:x}" if nvalue else ""))
+            self._emit_register_write(register, "raw")
+            self._pop()
+            self._w()
+        for variable in deferrable:
+            if not variable.set_actions:
+                continue
+            self._w(f"def _txn_post_{variable.name}(self, values):")
+            self._push()
+            self._emit_actions(
+                variable.set_actions, "var-set",
+                context_var=variable.name,
+                context_expr=f"values[{variable.name!r}]")
+            self._pop()
+            self._w()
 
     # -- actions --------------------------------------------------------
 
@@ -301,6 +515,7 @@ class _PyWriter:
                 f"{self._port_width(register.read_port)})")
         self._w(f"self._cache_{register.name} = raw_{register.name} & "
                 f"0x{register.mask.variable_bits:x}")
+        self._emit_shadow_update(register, read=True)
         self._emit_actions(register.post_actions, "post")
         self._emit_actions(register.set_actions, "reg-set")
 
@@ -318,8 +533,20 @@ class _PyWriter:
                 f"0x{register.mask.forced_value:x}, "
                 f"{self._port_expr(register.write_port)}, "
                 f"{self._port_width(register.write_port)})")
+        self._emit_shadow_update(register, read=False)
         self._emit_actions(register.post_actions, "post")
         self._emit_actions(register.set_actions, "reg-set")
+
+    def _emit_shadow_update(self, register: ResolvedRegister,
+                            read: bool) -> None:
+        """Shadow-validity maintenance after a bus access (plan-driven)."""
+        plan = self.plan[register.name]
+        barrier = plan.read_barrier if read else plan.write_barrier
+        if barrier:
+            self._w("if self._shadow is not None: self._shadow.clear()")
+        elif plan.read_elidable:
+            self._w(f"if self._shadow is not None: "
+                    f"self._shadow.add({register.name!r})")
 
     # -- value (de)composition -------------------------------------------
 
@@ -415,6 +642,7 @@ class _PyWriter:
         self._decorate_stub(f"get_{name}")
         self._w(f"def get_{name}(self):")
         self._push()
+        self._w("if self._txn is not None: self._txn_flush_pending()")
         self._w(f"if self._debug and not self._mem_{name}_init:")
         self._push()
         self._w(f"raise DevilStubError('memory variable {name} read "
@@ -440,6 +668,10 @@ class _PyWriter:
             self._w(f"def get_{name}(self):")
             self._push()
             self._w(f'"""Read device variable {name!r}."""')
+            self._w("if self._txn is not None: "
+                    "self._txn_flush_pending()")
+            if self.plan.variable_elidable(variable):
+                self._emit_elided_branch(variable)
             registers = [self.device.registers[r]
                          for r in variable.registers()]
             for register in registers:
@@ -454,6 +686,17 @@ class _PyWriter:
             self._push()
             self._w(f'"""Write device variable {name!r}."""')
             self._emit_encode(variable)
+            self._w("if self._txn is not None:")
+            self._push()
+            registers = tuple(variable.registers())
+            trigger = bool(variable.behaviors.write_triggers)
+            self._w(f"self._txn_defer({registers!r}, {name!r}, raw, "
+                    f"value, {trigger!r})")
+            if self.observe:
+                self._w("if self._obs is not None: "
+                        "self._obs.mark_coalesced()")
+            self._w("return")
+            self._pop()
             for register_name in variable.registers():
                 register = self.device.registers[register_name]
                 composed = self._compose_write_expr(register, variable)
@@ -462,6 +705,29 @@ class _PyWriter:
                                context_var=name, context_expr="value")
             self._pop()
             self._w()
+
+    def _emit_elided_branch(self, variable: ResolvedVariable) -> None:
+        """Serve the read from the shadow cache when it is valid."""
+        registers = variable.registers()
+        condition = " and ".join(f"{reg!r} in _s" for reg in registers)
+        self._w("_s = self._shadow")
+        self._w(f"if _s is not None and {condition}:")
+        self._push()
+        for register_name in registers:
+            register = self.device.registers[register_name]
+            self._emit_mode_check(register)
+            if self.observe:
+                port = register.read_port
+                assert port is not None
+                self._w(f"if self._obs is not None: self._obs.io_event("
+                        f"'r', {self._port_expr(port)}, "
+                        f"self._cache_{register_name}, "
+                        f"{self._port_width(port)}, 1, True)")
+        self._w(f"if self._note_elided is not None: "
+                f"self._note_elided({len(registers)})")
+        raw = self._assemble_expr(variable, raw_prefix="self._cache_")
+        self._w(f"return {self._decode_expr(variable, raw)}")
+        self._pop()
 
     def _emit_member_getter(self, variable: ResolvedVariable) -> None:
         if not self._readable(variable):
@@ -472,6 +738,7 @@ class _PyWriter:
         self._push()
         self._w(f'"""Read {name!r} from the {variable.structure!r} '
                 f'snapshot."""')
+        self._w("if self._txn is not None: self._txn_flush_pending()")
         self._w(f"if self._debug and not "
                 f"self._fetched_{variable.structure}:")
         self._push()
@@ -504,6 +771,8 @@ class _PyWriter:
             self._push()
             self._w(f'"""Grouped read of structure {structure_name!r}; '
                     f'each register once."""')
+            self._w("if self._txn is not None: "
+                    "self._txn_flush_pending()")
             for register in registers:
                 self._emit_register_read(register)
             self._w(f"self._fetched_{structure_name} = True")
@@ -522,6 +791,8 @@ class _PyWriter:
             self._push()
             self._w(f'"""Serialized write of structure '
                     f'{structure_name!r}."""')
+            self._w("if self._txn is not None: "
+                    "self._txn_flush_pending()")
             for member in members:
                 self._w(f"value = {member.name}")
                 self._emit_encode(member)
@@ -588,10 +859,13 @@ class _PyWriter:
             self._push()
             self._w(f'"""Block-read through {name!r} (one rep '
                     f'transfer)."""')
+            self._w("if self._txn is not None: "
+                    "self._txn_flush_pending()")
             self._emit_actions(register.pre_actions, "pre")
             self._w(f"values = self._io.block_read("
                     f"{self._port_expr(register.read_port)}, count, "
                     f"{self._port_width(register.read_port)})")
+            self._w("if self._shadow is not None: self._shadow.clear()")
             self._emit_actions(register.post_actions, "post")
             self._emit_actions(register.set_actions, "reg-set")
             self._w("return values")
@@ -603,10 +877,13 @@ class _PyWriter:
             self._push()
             self._w(f'"""Block-write through {name!r} (one rep '
                     f'transfer)."""')
+            self._w("if self._txn is not None: "
+                    "self._txn_flush_pending()")
             self._emit_actions(register.pre_actions, "pre")
             self._w(f"count = self._io.block_write("
                     f"{self._port_expr(register.write_port)}, values, "
                     f"{self._port_width(register.write_port)})")
+            self._w("if self._shadow is not None: self._shadow.clear()")
             self._emit_actions(register.post_actions, "post")
             self._emit_actions(register.set_actions, "reg-set")
             self._w("return count")

@@ -39,7 +39,8 @@ class CompiledSpec:
     def bind(self, bus: Bus, bases: dict[str, int],
              debug: bool = True,
              composition: str = "cache",
-             strategy: str = "interpret") -> DeviceInstance:
+             strategy: str = "interpret",
+             shadow_cache: bool = False) -> DeviceInstance:
         """Instantiate executable stubs on ``bus`` at ``bases``.
 
         ``debug=True`` enables the run-time checks of §3.2, the
@@ -50,11 +51,15 @@ class CompiledSpec:
         execute: ``"interpret"`` (walk the resolved model per call) or
         ``"specialize"`` (partial evaluation into straight-line
         closures at bind time — same semantics, faster calls; see
-        :mod:`repro.devil.specialize`).
+        :mod:`repro.devil.specialize`).  ``shadow_cache=True``
+        enables the volatility-aware register shadow cache: reads of
+        registers whose last raw value is still authoritative are
+        served without port I/O (see :mod:`repro.devil.plan`).
         """
         return DeviceInstance(self.model, bus, bases, debug=debug,
                               composition=composition,
-                              strategy=strategy)
+                              strategy=strategy,
+                              shadow_cache=shadow_cache)
 
     def emit_c(self, prefix: str | None = None, debug: bool = False) -> str:
         """Generate the C stub header (Figure 3c's artifact)."""

@@ -62,6 +62,29 @@ class Mask:
         if len(self.kinds) != self.width:
             raise ValueError(
                 f"mask has {len(self.kinds)} bit kinds for width {self.width}")
+        # Precompute the four bit-set views in one pass.  Every bind of
+        # every variable consults these (the specializer folds them into
+        # literals per chunk), so deriving them per property access put
+        # an O(width) loop on the hot bind path.  The extra attributes
+        # are set via object.__setattr__ because the dataclass is
+        # frozen; they are derived data and do not participate in
+        # equality or hashing.
+        variable = irrelevant = forced = forced_one = 0
+        for i, kind in enumerate(self.kinds):
+            bit = 1 << i
+            if kind is BitKind.VARIABLE:
+                variable |= bit
+            elif kind is BitKind.FORCE1:
+                forced |= bit
+                forced_one |= bit
+            elif kind is BitKind.FORCE0:
+                forced |= bit
+            else:  # IRRELEVANT or RESERVED
+                irrelevant |= bit
+        object.__setattr__(self, "_variable_bits", variable)
+        object.__setattr__(self, "_irrelevant_bits", irrelevant)
+        object.__setattr__(self, "_forced_bits", forced)
+        object.__setattr__(self, "_forced_value", forced_one)
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,32 +120,25 @@ class Mask:
     # Bit-set views (integers with one bit per register bit)
     # ------------------------------------------------------------------
 
-    def _bits_of(self, *kinds: BitKind) -> int:
-        bits = 0
-        for i, kind in enumerate(self.kinds):
-            if kind in kinds:
-                bits |= 1 << i
-        return bits
-
     @property
     def variable_bits(self) -> int:
         """Bits that must be covered by device variables."""
-        return self._bits_of(BitKind.VARIABLE)
+        return self._variable_bits
 
     @property
     def irrelevant_bits(self) -> int:
         """Bits carrying no information (``*`` or ``-``)."""
-        return self._bits_of(BitKind.IRRELEVANT, BitKind.RESERVED)
+        return self._irrelevant_bits
 
     @property
     def forced_bits(self) -> int:
         """Bits whose written value is fixed by the mask."""
-        return self._bits_of(BitKind.FORCE0, BitKind.FORCE1)
+        return self._forced_bits
 
     @property
     def forced_value(self) -> int:
         """The value OR-ed into every write (``1`` bits of the mask)."""
-        return self._bits_of(BitKind.FORCE1)
+        return self._forced_value
 
     @property
     def writable_variable_bits(self) -> int:

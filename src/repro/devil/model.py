@@ -225,27 +225,48 @@ class ResolvedVariable:
 
     @property
     def width(self) -> int:
-        return sum(chunk.width for chunk in self.chunks)
+        cache = self.__dict__.get("_width_cache")
+        if cache is None or cache[0] != len(self.chunks):
+            cache = (len(self.chunks),
+                     sum(chunk.width for chunk in self.chunks))
+            self.__dict__["_width_cache"] = cache
+        return cache[1]
 
     def registers(self) -> list[str]:
         """Register names in I/O order (serialization if given)."""
         if self.serialization is not None:
             return list(self.serialization)
-        seen: list[str] = []
-        for chunk in self.chunks:
-            if chunk.register not in seen:
-                seen.append(chunk.register)
-        return seen
+        cache = self.__dict__.get("_registers_cache")
+        if cache is None or cache[0] != len(self.chunks):
+            seen: list[str] = []
+            for chunk in self.chunks:
+                if chunk.register not in seen:
+                    seen.append(chunk.register)
+            cache = (len(self.chunks), seen)
+            self.__dict__["_registers_cache"] = cache
+        return list(cache[1])
 
     def chunks_of(self, register: str) -> list[tuple[ResolvedChunk, int]]:
         """Chunks living in ``register`` with their LSB offset in the
-        variable's value (chunk 0 is the most significant)."""
-        result = []
-        offset = self.width
-        for chunk in self.chunks:
-            offset -= chunk.width
-            if chunk.register == register:
-                result.append((chunk, offset))
+        variable's value (chunk 0 is the most significant).
+
+        Memoized per register (callers iterate, never mutate): the
+        interpreter walks this on every composed write and transaction
+        defer.  Caches invalidate if chunks are still being populated.
+        """
+        cache = self.__dict__.get("_chunks_of_cache")
+        if cache is None or cache[0] != len(self.chunks):
+            cache = (len(self.chunks), {})
+            self.__dict__["_chunks_of_cache"] = cache
+        result = cache[1].get(register)
+        if result is None:
+            result = []
+            offset = self.width
+            for chunk in self.chunks:
+                offset -= chunk.width
+                if chunk.register == register:
+                    result.append((chunk, offset))
+            cache[1][register] = result
         return result
 
 
@@ -287,6 +308,10 @@ class ResolvedDevice:
     constructors: dict[str, RegisterConstructor] = field(default_factory=dict)
     variables: dict[str, ResolvedVariable] = field(default_factory=dict)
     structures: dict[str, ResolvedStructure] = field(default_factory=dict)
+    #: Static access plan (:class:`repro.devil.plan.AccessPlan`),
+    #: attached by the checker; :func:`repro.devil.plan.access_plan`
+    #: computes it lazily for hand-built models.
+    plan: object | None = None
     location: SourceLocation = UNKNOWN_LOCATION
 
     def public_variables(self) -> list[ResolvedVariable]:
@@ -294,9 +319,27 @@ class ResolvedDevice:
         return [v for v in self.variables.values() if not v.private]
 
     def variables_of_register(self, register: str) -> list[ResolvedVariable]:
-        """Every variable owning at least one bit of ``register``."""
-        return [v for v in self.variables.values()
-                if any(c.register == register for c in v.chunks)]
+        """Every variable owning at least one bit of ``register``.
+
+        Memoized: the interpreter consults this on every composed
+        register write and the specializer in every compose-emission
+        loop, so the linear scan over all variables is built once per
+        variable-set generation (keyed by the variable count, which only
+        grows while the checker is still populating the model).
+        """
+        cached = self.__dict__.get("_owners_cache")
+        if cached is None or cached[0] != len(self.variables):
+            owners: dict[str, list[ResolvedVariable]] = {}
+            for variable in self.variables.values():
+                seen: set[str] = set()
+                for chunk in variable.chunks:
+                    if chunk.register not in seen:
+                        seen.add(chunk.register)
+                        owners.setdefault(chunk.register, []).append(
+                            variable)
+            cached = (len(self.variables), owners)
+            self.__dict__["_owners_cache"] = cached
+        return cached[1].get(register, [])
 
     def port_of(self, port: tuple[str, int]) -> int:
         """Flat index of a concrete port within the device's port list.

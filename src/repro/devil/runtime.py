@@ -36,7 +36,6 @@ writes, validation of values the device delivers on reads, and the
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from typing import Iterable
 
 from .. import obs
@@ -53,6 +52,7 @@ from .model import (
     VarRef,
     Wildcard,
 )
+from .plan import access_plan
 
 
 class DeviceInstance:
@@ -71,7 +71,8 @@ class DeviceInstance:
     def __init__(self, model: ResolvedDevice, bus: Bus,
                  bases: dict[str, int], debug: bool = True,
                  composition: str = "cache",
-                 strategy: str = "interpret"):
+                 strategy: str = "interpret",
+                 shadow_cache: bool = False):
         missing = set(model.params) - set(bases)
         if missing:
             raise DevilRuntimeError(
@@ -103,6 +104,20 @@ class DeviceInstance:
         #: shifts and port addresses folded to literals (see
         #: :mod:`repro.devil.specialize`).  Semantics are identical.
         self.strategy = strategy
+        #: Static access plan: per-register cacheable/volatile/trigger
+        #: classification derived from the behaviour qualifiers.
+        self.plan = access_plan(model)
+        #: Shadow caching elides reads of registers whose last raw value
+        #: is still authoritative (non-volatile, no trigger anywhere on
+        #: the register).  It requires the write-composition cache: the
+        #: read-modify-write ablation deliberately re-reads the device,
+        #: so eliding those reads would change what it measures.
+        self.shadow_cache = bool(shadow_cache) and composition == "cache"
+        #: Registers whose ``_register_cache`` entry mirrors the device
+        #: (None when shadow caching is off, so the common path costs
+        #: one ``is not None`` test).
+        self._shadow_valid: set[str] | None = \
+            set() if self.shadow_cache else None
         #: Last known raw value per register (write composition cache).
         self._register_cache: dict[str, int] = {}
         #: Raw register snapshots per structure, taken by get_<struct>.
@@ -119,6 +134,20 @@ class DeviceInstance:
             self._last_written["device_mode"] = model.modes[0]
         #: Active transaction state, or None (see :meth:`transaction`).
         self._txn: dict | None = None
+        #: Specialized per-register flush writers (name -> callable),
+        #: attached by :mod:`repro.devil.specialize`; None falls back
+        #: to the generic compose-and-write path.
+        self._txn_writers: dict | None = None
+        #: Per-variable ``(registers tuple, write-triggers)`` pairs,
+        #: filled lazily by :meth:`_defer_write` (the defer path runs
+        #: once per set call inside a transaction, so the model walk is
+        #: paid once per variable, not once per defer).
+        self._defer_info: dict[str, tuple] = {}
+        #: Variables with ``set { ... }`` actions; the flush consults
+        #: this instead of walking the model per deferred variable.
+        self._set_action_vars = frozenset(
+            name for name, variable in model.variables.items()
+            if variable.set_actions)
         #: Decided at bind time so disabled telemetry costs nothing:
         #: uninstrumented instances carry exactly the stubs an
         #: observability-free build would (see :mod:`repro.obs`).
@@ -262,6 +291,14 @@ class DeviceInstance:
         self._run_actions(register.pre_actions, context, kind="pre")
         raw = self.bus.read(self._address(register.read_port),
                             self._port_width(register.read_port))
+        shadow = self._shadow_valid
+        if shadow is not None:
+            plan = self.plan[name]
+            if plan.read_barrier:
+                # A read trigger may have changed any register.
+                shadow.clear()
+            elif plan.read_elidable:
+                shadow.add(name)
         self._run_actions(register.post_actions, context, kind="post")
         self._run_actions(register.set_actions, context)
         self._register_cache[name] = raw
@@ -280,6 +317,14 @@ class DeviceInstance:
         self.bus.write(register.mask.apply_write(raw),
                        self._address(register.write_port),
                        self._port_width(register.write_port))
+        shadow = self._shadow_valid
+        if shadow is not None:
+            plan = self.plan[name]
+            if plan.write_barrier:
+                # A write trigger may have changed any register.
+                shadow.clear()
+            elif plan.read_elidable:
+                shadow.add(name)
         self._run_actions(register.post_actions, context, kind="post")
         self._run_actions(register.set_actions, context)
         self._register_cache[name] = raw & register.mask.variable_bits
@@ -362,9 +407,40 @@ class DeviceInstance:
             return self._memory[name]
         if variable.structure is not None:
             return self._get_member(variable)
+        shadow = self._shadow_valid
+        if shadow is not None and self.plan.variable_elidable(variable):
+            registers = variable.registers()
+            if all(name in shadow for name in registers):
+                return self._get_elided(variable, registers)
         raw_registers: dict[str, int] = {}
         for register_name in variable.registers():
             raw_registers[register_name] = self.read_register(register_name)
+        raw = self._assemble(variable, raw_registers)
+        return self._decode(variable, raw)
+
+    def _get_elided(self, variable: ResolvedVariable,
+                    registers: list[str]) -> object:
+        """Serve a read from the shadow cache: no port I/O, no actions.
+
+        Debug mode checks still run; instrumented instances report the
+        elided accesses so traces stay honest about what was skipped.
+        """
+        cache = self._register_cache
+        report = self._instrumented and self.bus.tracing and \
+            self.bus.collector is not None
+        raw_registers: dict[str, int] = {}
+        for register_name in registers:
+            register = self.model.registers[register_name]
+            self._check_mode(register)
+            raw = cache.get(register_name, 0)
+            raw_registers[register_name] = raw
+            if report:
+                port = register.read_port
+                self.bus.collector.io_event(
+                    "r", self._address(port),
+                    raw & register.mask.variable_bits,
+                    self._port_width(port), 1, True)
+        self.bus.note_elided(len(registers))
         raw = self._assemble(variable, raw_registers)
         return self._decode(variable, raw)
 
@@ -420,8 +496,7 @@ class DeviceInstance:
     # Transactions: factorized device communication (§6 future work)
     # ------------------------------------------------------------------
 
-    @contextmanager
-    def transaction(self):
+    def transaction(self) -> "_TransactionBlock":
         """Coalesce variable writes into one I/O operation per register.
 
         The paper's future work proposes "factorizing and scheduling
@@ -438,27 +513,49 @@ class DeviceInstance:
         order is preserved across the read).  Transactions do not
         nest.
         """
-        if self._txn is not None:
-            raise DevilRuntimeError("transactions do not nest",
-                                    self.model.location)
-        self._txn = {"registers": {}, "order": [], "variables": {}}
-        try:
-            yield self
-        finally:
-            transaction, self._txn = self._txn, None
-            self._flush_transaction(transaction)
+        return _TransactionBlock(self)
+
+    def txn(self) -> "_TransactionBlock":
+        """Short alias for :meth:`transaction`."""
+        return _TransactionBlock(self)
 
     def _defer_write(self, variable: ResolvedVariable, value: object,
                      raw: int) -> None:
-        assert self._txn is not None
-        for register_name in variable.registers():
-            per_register = self._txn["registers"].setdefault(
-                register_name, {})
+        txn = self._txn
+        assert txn is not None
+        info = self._defer_info.get(variable.name)
+        if info is None:
+            info = (tuple(variable.registers()),
+                    variable.behaviors.write_triggers)
+            self._defer_info[variable.name] = info
+        registers, write_triggers = info
+        if write_triggers:
+            # Trigger barrier: a repeated write to a write-trigger
+            # variable must reach the device twice — last-write-wins
+            # merging would drop a side effect.  Flush, then re-defer.
+            for register_name in registers:
+                pending = txn["registers"].get(register_name)
+                if pending is not None and variable.name in pending:
+                    self._flush_pending()
+                    txn = self._txn
+                    break
+        txn_registers = txn["registers"]
+        order = txn["order"]
+        for register_name in registers:
+            per_register = txn_registers.get(register_name)
+            if per_register is None:
+                txn_registers[register_name] = per_register = {}
+                order.append(register_name)
             per_register[variable.name] = raw
-            if register_name not in self._txn["order"]:
-                self._txn["order"].append(register_name)
-        self._txn["variables"][variable.name] = value
+        txn["variables"][variable.name] = value
+        # Count the register writes an immediate set would have cost;
+        # the flush performs len(order) of them, the rest coalesced.
+        txn["deferred"] += len(registers)
         self._last_written[variable.name] = value
+        if self._instrumented:
+            collector = self.bus.collector
+            if collector is not None:
+                collector.mark_coalesced()
 
     def _flush_pending(self) -> None:
         """Flush an open transaction (called before reads)."""
@@ -466,21 +563,53 @@ class DeviceInstance:
             return
         transaction, self._txn = self._txn, None
         self._flush_transaction(transaction)
-        self._txn = {"registers": {}, "order": [], "variables": {}}
+        self._txn = {"registers": {}, "order": [], "variables": {},
+                     "deferred": 0}
 
     def _flush_transaction(self, transaction: dict) -> None:
         if not transaction["order"]:
             return
-        values = dict(transaction["variables"])
+        collector = self.bus.collector if self._instrumented else None
+        if collector is not None:
+            collector.span_start(self.model.name, "txn_flush", "*",
+                                 "txn", self.strategy)
+            try:
+                self._flush_transaction_body(transaction)
+            except BaseException as error:
+                collector.span_end(error=type(error).__name__)
+                raise
+            collector.span_end()
+        else:
+            self._flush_transaction_body(transaction)
+
+    def _flush_transaction_body(self, transaction: dict) -> None:
+        writers = self._txn_writers
+        values = None
         for register_name in transaction["order"]:
+            writer = None if writers is None \
+                else writers.get(register_name)
+            if writer is not None:
+                writer(transaction["registers"][register_name])
+                continue
+            if values is None:
+                values = dict(transaction["variables"])
             register = self.model.registers[register_name]
             updates = transaction["registers"][register_name]
             composed = self._compose_register_write(register, updates)
             self.write_register(register_name, composed, context=values)
-        for variable_name in transaction["variables"]:
-            variable = self.model.variables[variable_name]
-            self._run_actions(variable.set_actions, values,
-                              kind="var-set")
+        merged = transaction["deferred"] - len(transaction["order"])
+        if merged > 0:
+            self.bus.note_coalesced(merged)
+        set_action_vars = self._set_action_vars
+        if set_action_vars:
+            for variable_name in transaction["variables"]:
+                if variable_name not in set_action_vars:
+                    continue
+                if values is None:
+                    values = dict(transaction["variables"])
+                variable = self.model.variables[variable_name]
+                self._run_actions(variable.set_actions, values,
+                                  kind="var-set")
 
     def _encode(self, variable: ResolvedVariable, value: object) -> int:
         if self.debug:
@@ -523,6 +652,7 @@ class DeviceInstance:
         read the same snapshot, so ``dy`` and ``buttons`` observe the
         single read of ``y_high`` — exactly Figure 3c.
         """
+        self._flush_pending()
         structure = self._structure(name)
         snapshot: dict[str, int] = {}
         for register_name in self._structure_registers(name):
@@ -543,6 +673,7 @@ class DeviceInstance:
         serialization steps are evaluated against these values, which
         is how the 8259A's mode-dependent init sequence is driven.
         """
+        self._flush_pending()
         structure = self._structure(name)
         missing = set(structure.members) - set(values)
         if missing:
@@ -607,6 +738,7 @@ class DeviceInstance:
         transfer"): pre-actions run once, then the transfer is
         hardware-paced.
         """
+        self._flush_pending()
         variable = self._block_variable(name)
         register = self.model.registers[variable.chunks[0].register]
         if register.read_port is None:
@@ -617,12 +749,16 @@ class DeviceInstance:
         values = self.bus.block_read(self._address(register.read_port),
                                      count,
                                      self._port_width(register.read_port))
+        if self._shadow_valid is not None:
+            # Hardware-paced transfers step the device's internal state.
+            self._shadow_valid.clear()
         self._run_actions(register.post_actions, {}, kind="post")
         self._run_actions(register.set_actions, {})
         return values
 
     def write_block(self, name: str, values: Iterable[int]) -> int:
         """Block write counterpart of :meth:`read_block`."""
+        self._flush_pending()
         variable = self._block_variable(name)
         register = self.model.registers[variable.chunks[0].register]
         if register.write_port is None:
@@ -633,6 +769,8 @@ class DeviceInstance:
         count = self.bus.block_write(self._address(register.write_port),
                                      values,
                                      self._port_width(register.write_port))
+        if self._shadow_valid is not None:
+            self._shadow_valid.clear()
         self._run_actions(register.post_actions, {}, kind="post")
         self._run_actions(register.set_actions, {})
         return count
@@ -649,6 +787,40 @@ class DeviceInstance:
         """Drop every cache (e.g. after a device reset)."""
         self._register_cache.clear()
         self._structure_cache.clear()
+        if self._shadow_valid is not None:
+            self._shadow_valid.clear()
+
+
+class _TransactionBlock:
+    """The ``with device.txn():`` context manager.
+
+    A plain class rather than ``@contextmanager``: opening a
+    transaction sits on driver hot paths (one per coalesced command
+    setup), and the generator protocol costs several times the two
+    attribute assignments actually needed.  The flush runs on *every*
+    exit, exceptional or not, matching a ``try/finally`` around the
+    block body.
+    """
+
+    __slots__ = ("instance",)
+
+    def __init__(self, instance: "DeviceInstance"):
+        self.instance = instance
+
+    def __enter__(self) -> "DeviceInstance":
+        instance = self.instance
+        if instance._txn is not None:
+            raise DevilRuntimeError("transactions do not nest",
+                                    instance.model.location)
+        instance._txn = {"registers": {}, "order": [], "variables": {},
+                         "deferred": 0}
+        return instance
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        instance = self.instance
+        transaction, instance._txn = instance._txn, None
+        instance._flush_transaction(transaction)
+        return False
 
 
 class _PlainStep:

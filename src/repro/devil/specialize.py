@@ -34,6 +34,7 @@ execution strategies cannot drift apart.
 from __future__ import annotations
 
 from .errors import DevilRuntimeError, SourceLocation
+from .plan import access_plan
 from .model import (
     ParamRef,
     ResolvedAction,
@@ -80,11 +81,19 @@ class _Specializer:
 
     def __init__(self, model: ResolvedDevice, bases: dict[str, int],
                  debug: bool, composition: str,
-                 instrumented: bool = False):
+                 instrumented: bool = False,
+                 shadow_cache: bool = False):
         self.model = model
         self.bases = dict(bases)
         self.debug = debug
         self.composition = composition
+        #: When True, getters of fully-cacheable variables test the
+        #: instance's shadow-validity set and serve reads straight from
+        #: the register cache; register accesses maintain the set per
+        #: the static access plan.  Off, no shadow code is emitted at
+        #: all — the source is byte-identical to the pre-shadow output.
+        self.shadow_cache = shadow_cache
+        self.plan = access_plan(model)
         #: When True (telemetry enabled at bind time), every action
         #: site additionally emits an ``_obs_act(kind, target)`` probe
         #: mirroring the interpreter's ``_run_actions`` recording, so
@@ -278,6 +287,7 @@ class _Specializer:
         self._emit_actions(register.pre_actions, context, "pre")
         self._w(f"raw_{register.name} = "
                 f"_read({self._address(port):#x}, {self._port_width(port)})")
+        self._emit_shadow_update(register, read=True)
         self._emit_actions(register.post_actions, context, "post")
         self._emit_actions(register.set_actions, context)
         # The interpreter caches the full raw value after the actions.
@@ -296,9 +306,22 @@ class _Specializer:
         on_bus = f"_w_{name} | {forced:#x}" if forced else f"_w_{name}"
         self._w(f"_write({on_bus}, {self._address(port):#x}, "
                 f"{self._port_width(port)})")
+        self._emit_shadow_update(register, read=False)
         self._emit_actions(register.post_actions, context, "post")
         self._emit_actions(register.set_actions, context)
         self._w(f"_rc[{name!r}] = _w_{name}")
+
+    def _emit_shadow_update(self, register: ResolvedRegister,
+                            read: bool) -> None:
+        """Shadow-validity maintenance after a bus access (plan-driven)."""
+        if not self.shadow_cache:
+            return
+        plan = self.plan[register.name]
+        barrier = plan.read_barrier if read else plan.write_barrier
+        if barrier:
+            self._w("_sv.clear()")
+        elif plan.read_elidable:
+            self._w(f"_sv.add({register.name!r})")
 
     def _emit_rmw_refresh(self, register: ResolvedRegister,
                           context: dict[str, str]) -> None:
@@ -538,6 +561,8 @@ class _Specializer:
         self._push()
         self._w("_flush()")
         self._pop()
+        if self.shadow_cache and self.plan.variable_elidable(variable):
+            self._emit_elided_branch(variable)
         for register_name in variable.registers():
             self._emit_register_read(self.model.registers[register_name], {})
         raw = self._assemble_expr(variable, lambda reg: f"raw_{reg}")
@@ -545,6 +570,30 @@ class _Specializer:
         self._w("return _v")
         self._pop()
         self._w()
+
+    def _emit_elided_branch(self, variable: ResolvedVariable) -> None:
+        """Serve the read from the shadow cache when it is valid."""
+        registers = variable.registers()
+        condition = " and ".join(f"{reg!r} in _sv" for reg in registers)
+        self._w(f"if {condition}:")
+        self._push()
+        for register_name in registers:
+            register = self.model.registers[register_name]
+            self._emit_mode_check(register)
+            self._w(f"_raw_{register_name} = "
+                    f"_rc.get({register_name!r}, 0)")
+            if self.instrumented:
+                port = register.read_port
+                assert port is not None
+                vb = register.mask.variable_bits
+                self._w(f"_obs_elide({self._address(port):#x}, "
+                        f"_raw_{register_name} & {vb:#x}, "
+                        f"{self._port_width(port)})")
+        self._w(f"_note_elided({len(registers)})")
+        raw = self._assemble_expr(variable, lambda reg: f"_raw_{reg}")
+        self._emit_decode(variable, raw, "_v")
+        self._w("return _v")
+        self._pop()
 
     def _emit_member_getter(self, variable: ResolvedVariable) -> None:
         name = variable.name
@@ -588,10 +637,48 @@ class _Specializer:
         context = {name: "value"}
         self._w(f"def set_{name}(value):")
         self._push()
-        # Open transactions defer writes; interpret that rare path.
+        # Open transactions defer writes: encode on the inlined fast
+        # path, then record the raw value in the transaction.  Single-
+        # register variables get the deferral inlined (the common case
+        # — one dict probe, one barrier test); multi-register and
+        # serialized variables go through the shared interpreter
+        # deferral so the ordering logic cannot drift.
+        registers = variable.registers()
         self._w("if _I._txn is not None:")
         self._push()
-        self._w(f"_set({name!r}, value)")
+        self._emit_encode(variable)
+        if len(registers) == 1 and variable.serialization is None:
+            register_name = registers[0]
+            self._w("_t = _I._txn")
+            self._w("_tr = _t['registers']")
+            self._w(f"_p = _tr.get({register_name!r})")
+            if variable.behaviors.write_triggers:
+                # Trigger barrier: a repeated write to a write-trigger
+                # variable must reach the device twice.
+                self._w(f"if _p is not None and {name!r} in _p:")
+                self._push()
+                self._w("_flush()")
+                self._w("_t = _I._txn")
+                self._w("_tr = _t['registers']")
+                self._w("_p = None")
+                self._pop()
+            self._w("if _p is None:")
+            self._push()
+            self._w(f"_tr[{register_name!r}] = _p = {{}}")
+            self._w(f"_t['order'].append({register_name!r})")
+            self._pop()
+            self._w(f"_p[{name!r}] = raw")
+            self._w(f"_t['variables'][{name!r}] = value")
+            self._w("_t['deferred'] += 1")
+            self._w(f"_lw[{name!r}] = value")
+            if self.instrumented:
+                self._w("_c = _bus.collector")
+                self._w("if _c is not None:")
+                self._push()
+                self._w("_c.mark_coalesced()")
+                self._pop()
+        else:
+            self._w(f"_defer(_vars[{name!r}], value, raw)")
         self._w("return")
         self._pop()
         self._emit_encode(variable)
@@ -610,6 +697,10 @@ class _Specializer:
         register_names = self._structure_registers(structure_name)
         self._w(f"def get_{structure_name}():")
         self._push()
+        self._w("if _I._txn is not None:")
+        self._push()
+        self._w("_flush()")
+        self._pop()
         for register_name in register_names:
             self._emit_register_read(self.model.registers[register_name], {})
         snapshot = ", ".join(f"{reg!r}: raw_{reg}"
@@ -661,6 +752,10 @@ class _Specializer:
 
         self._w(f"def set_{structure_name}(**values):")
         self._push()
+        self._w("if _I._txn is not None:")
+        self._push()
+        self._w("_flush()")
+        self._pop()
         self._w(f"if {members_set}.symmetric_difference(values):")
         self._push()
         self._w(f"_struct_args_error({structure_name!r}, {members_set}, "
@@ -727,11 +822,17 @@ class _Specializer:
         if self._readable(variable):
             self._w(f"def read_{name}_block(count):")
             self._push()
+            self._w("if _I._txn is not None:")
+            self._push()
+            self._w("_flush()")
+            self._pop()
             if shape_ok and register is not None and register.readable:
                 port = register.read_port
                 self._emit_actions(register.pre_actions, {}, "pre")
                 self._w(f"_vals = _block_read({self._address(port):#x}, "
                         f"count, {self._port_width(port)})")
+                if self.shadow_cache:
+                    self._w("_sv.clear()")
                 self._emit_actions(register.post_actions, {}, "post")
                 self._emit_actions(register.set_actions, {})
                 self._w("return _vals")
@@ -744,11 +845,17 @@ class _Specializer:
         if self._writable(variable):
             self._w(f"def write_{name}_block(values):")
             self._push()
+            self._w("if _I._txn is not None:")
+            self._push()
+            self._w("_flush()")
+            self._pop()
             if shape_ok and register is not None and register.writable:
                 port = register.write_port
                 self._emit_actions(register.pre_actions, {}, "pre")
                 self._w(f"_n = _block_write({self._address(port):#x}, "
                         f"values, {self._port_width(port)})")
+                if self.shadow_cache:
+                    self._w("_sv.clear()")
                 self._emit_actions(register.post_actions, {}, "post")
                 self._emit_actions(register.set_actions, {})
                 self._w("return _n")
@@ -759,11 +866,96 @@ class _Specializer:
 
     # -- driver -------------------------------------------------------
 
+    # -- specialized transaction flush writers ------------------------
+
+    def _txn_writer_registers(self) -> list:
+        """Registers whose transaction flush can run straight-line.
+
+        A register qualifies when composing it needs no model walk at
+        flush time: ``cache`` composition, a write port, no register
+        actions (actions may consult the deferred-values context, which
+        the interpreter's generic flush provides).  Registers that do
+        not qualify simply fall back to the interpreter's
+        ``_compose_register_write`` path — semantics are identical
+        either way, only the dispatch cost differs.
+        """
+        if self.composition != "cache":
+            return []
+        result = []
+        for register in self.model.registers.values():
+            if register.write_port is None:
+                continue
+            if register.pre_actions or register.post_actions or \
+                    register.set_actions:
+                continue
+            owners = self.model.variables_of_register(register.name)
+            if not any(self._writable(owner) and not owner.memory and
+                       owner.structure is None for owner in owners):
+                continue
+            result.append(register)
+        return result
+
+    def _emit_txn_writer(self, register: ResolvedRegister) -> None:
+        """``_txn_write_<reg>(updates)``: the specialized equivalent of
+        ``_compose_register_write`` + ``write_register`` for one
+        register, with masks, neutral values and the port address
+        folded in.  Must compose exactly what the interpreter would:
+        updated owners contribute their new bits, write-trigger
+        neighbours their neutral value, everyone else their cached
+        bits."""
+        name = register.name
+        width_mask = (1 << register.width) - 1
+        self._w(f"def _txn_write_{name}(_u):")
+        self._push()
+        self._w(f"_x = _rc.get({name!r}, 0) & "
+                f"{register.mask.variable_bits:#x}")
+        for owner in self.model.variables_of_register(name):
+            bits = 0
+            inserts = []
+            for chunk, value_lsb in owner.chunks_of(name):
+                chunk_mask = (1 << chunk.width) - 1
+                bits |= chunk_mask << chunk.lsb
+                extract = self._extract_expr(
+                    "_v", value_lsb + chunk.width - 1, value_lsb,
+                    owner.width)
+                inserts.append(f"({extract} << {chunk.lsb})"
+                               if chunk.lsb else extract)
+            keep = ~bits & width_mask
+            neutral = None
+            if owner.behaviors.write_triggers and \
+                    owner.trigger_neutral_raw is not None:
+                neutral = 0
+                for chunk, value_lsb in owner.chunks_of(name):
+                    chunk_mask = (1 << chunk.width) - 1
+                    field = (owner.trigger_neutral_raw >> value_lsb) \
+                        & chunk_mask
+                    neutral |= field << chunk.lsb
+            deferrable = self._writable(owner) and not owner.memory \
+                and owner.structure is None
+            if deferrable:
+                self._w(f"_v = _u.get({owner.name!r})")
+                self._w("if _v is not None:")
+                self._push()
+                self._w(f"_x = (_x & {keep:#x}) | "
+                        f"{' | '.join(inserts)}")
+                self._pop()
+                if neutral is not None:
+                    self._w("else:")
+                    self._push()
+                    self._w(f"_x = (_x & {keep:#x}) | {neutral:#x}")
+                    self._pop()
+            elif neutral is not None:
+                self._w(f"_x = (_x & {keep:#x}) | {neutral:#x}")
+        self._emit_register_write(register, "_x", {})
+        self._pop()
+        self._w()
+
     def generate(self) -> str:
         model = self.model
         self._w(f"# Specialized stubs for {model.name!r} "
                 f"(debug={self.debug}, composition={self.composition!r}, "
-                f"instrumented={self.instrumented}).")
+                f"instrumented={self.instrumented}, "
+                f"shadow_cache={self.shadow_cache}).")
         self._w("# Generated by repro.devil.specialize; do not edit.")
         self._w()
         self._w("def _factory(_I):")
@@ -781,6 +973,10 @@ class _Specializer:
         self._w("_decode = _I._decode")
         self._w("_set = _I.set")
         self._w("_flush = _I._flush_pending")
+        self._w("_defer = _I._defer_write")
+        if self.shadow_cache:
+            self._w("_sv = _I._shadow_valid")
+            self._w("_note_elided = _bus.note_elided")
         self._w()
         self._w("def _enc(name, value):")
         self._push()
@@ -809,6 +1005,16 @@ class _Specializer:
             self._w("if _c is not None:")
             self._push()
             self._w("_c.record_action(kind, target)")
+            self._pop()
+            self._pop()
+            self._w()
+        if self.instrumented and self.shadow_cache:
+            self._w("def _obs_elide(port, value, width):")
+            self._push()
+            self._w("_c = _bus.collector")
+            self._w("if _c is not None and _bus.tracing:")
+            self._push()
+            self._w("_c.io_event('r', port, value, width, 1, True)")
             self._pop()
             self._pop()
             self._w()
@@ -847,6 +1053,17 @@ class _Specializer:
                 self._emit_struct_setter(structure.name)
                 public.append((f"set_{structure.name}",) * 2)
 
+        writer_registers = self._txn_writer_registers()
+        for register in writer_registers:
+            self._emit_txn_writer(register)
+        if writer_registers:
+            writer_entries = ", ".join(
+                f"{register.name!r}: _txn_write_{register.name}"
+                for register in writer_registers)
+            self._w(f"_I._txn_writers = {{{writer_entries}}}")
+        else:
+            self._w("_I._txn_writers = None")
+
         entries = ", ".join(f"{attach!r}: {func}"
                             for attach, func in public)
         self._w(f"return {{{entries}}}")
@@ -868,7 +1085,8 @@ _FACTORY_CACHE: dict[int, tuple[ResolvedDevice, dict]] = {}
 
 def specialized_factory(model: ResolvedDevice, bases: dict[str, int],
                         debug: bool, composition: str,
-                        instrumented: bool = False):
+                        instrumented: bool = False,
+                        shadow_cache: bool = False):
     """Return ``(factory, source, stub_names)`` for one specialization key.
 
     Generation, ``compile`` and ``exec`` run once per key; rebinding the
@@ -878,12 +1096,13 @@ def specialized_factory(model: ResolvedDevice, bases: dict[str, int],
     :mod:`repro.obs` never mutates sources served to uninstrumented
     bindings.
     """
-    key = (tuple(sorted(bases.items())), debug, composition, instrumented)
+    key = (tuple(sorted(bases.items())), debug, composition, instrumented,
+           shadow_cache)
     _, per_model = _FACTORY_CACHE.setdefault(id(model), (model, {}))
     entry = per_model.get(key)
     if entry is None:
         specializer = _Specializer(model, bases, debug, composition,
-                                   instrumented)
+                                   instrumented, shadow_cache)
         source = specializer.generate()
         code = compile(source, f"<devil-specialize:{model.name}>", "exec")
         namespace = specializer.namespace
@@ -898,10 +1117,11 @@ def generate_specialized_source(model: ResolvedDevice,
                                 bases: dict[str, int],
                                 debug: bool = True,
                                 composition: str = "cache",
-                                instrumented: bool = False) -> str:
+                                instrumented: bool = False,
+                                shadow_cache: bool = False) -> str:
     """The generated factory source (for inspection and tests)."""
     return _Specializer(model, bases, debug, composition,
-                        instrumented).generate()
+                        instrumented, shadow_cache).generate()
 
 
 def specialize_instance(instance) -> None:
@@ -915,7 +1135,8 @@ def specialize_instance(instance) -> None:
     factory, source, stub_names = specialized_factory(
         instance.model, instance.bases, instance.debug,
         instance.composition,
-        instrumented=getattr(instance, "_instrumented", False))
+        instrumented=getattr(instance, "_instrumented", False),
+        shadow_cache=getattr(instance, "shadow_cache", False))
     stubs = factory(instance)
     instance._specialized_source = source
     instance._specialized_stubs = stubs

@@ -69,7 +69,8 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict:
                 "kind": span.kind,
                 "strategy": span.strategy,
                 "seq": span.seq,
-                "io": [[e.op, e.port, e.value, e.width, e.count]
+                "io": [[e.op, e.port, e.value, e.width, e.count,
+                        e.elided]
                        for e in span.io],
                 "actions": [list(pair) for pair in span.actions],
                 **({"error": span.error} if span.error else {}),
@@ -129,6 +130,13 @@ def hot_report(spans: Iterable[Span],
             f"{row['actions']:>8} {row['us']:>9.1f} {share:>4.0f}%")
     if len(ranked) > top:
         lines.append(f"... and {len(ranked) - top} more variables")
+
+    total_elided = sum(span.io_elided for span in spans)
+    coalesced_spans = sum(1 for span in spans if span.coalesced)
+    if total_elided or coalesced_spans:
+        lines += ["",
+                  f"shadow-cache reads elided: {total_elided}",
+                  f"spans coalesced into txn flushes: {coalesced_spans}"]
 
     if metrics is not None:
         dropped = metrics.value("bus.trace_dropped")

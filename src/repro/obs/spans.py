@@ -40,7 +40,10 @@ class IoEvent:
     'wb'); ``count`` is the word count of a block transfer (1 for
     single accesses); ``value`` is the transferred value for single
     accesses and ``None`` for block transfers (the per-word data lives
-    in the bus trace).
+    in the bus trace).  ``elided=True`` marks a read served from the
+    runtime's register shadow cache: no bus operation happened (the
+    event does not appear in the bus trace), and ``value`` is the
+    shadow's view of the register's variable bits.
     """
 
     op: str
@@ -48,6 +51,7 @@ class IoEvent:
     value: int | None
     width: int
     count: int = 1
+    elided: bool = False
 
 
 @dataclass
@@ -71,22 +75,31 @@ class Span:
     #: ``pre``/``post``/``reg-set`` (register-attached) or ``var-set``
     #: (variable-attached, after the write).
     actions: list[tuple[str, str]] = field(default_factory=list)
+    #: True when at least one write this span deferred was merged into
+    #: a transactional flush (set by :meth:`Collector.mark_coalesced`).
+    coalesced: bool = False
     error: str | None = None
 
     @property
     def io_ops(self) -> int:
-        return len(self.io)
+        """Real bus operations attributed to the span (elided excluded)."""
+        return sum(1 for event in self.io if not event.elided)
 
     @property
     def io_words(self) -> int:
-        return sum(event.count for event in self.io)
+        return sum(event.count for event in self.io if not event.elided)
+
+    @property
+    def io_elided(self) -> int:
+        """Reads served from the shadow cache instead of the bus."""
+        return sum(1 for event in self.io if event.elided)
 
     def signature(self) -> tuple:
         """Strategy- and timing-independent identity, for parity checks."""
         return (self.device, self.stub, self.variable, self.kind,
-                tuple((e.op, e.port, e.value, e.width, e.count)
+                tuple((e.op, e.port, e.value, e.width, e.count, e.elided)
                       for e in self.io),
-                tuple(self.actions), self.error)
+                tuple(self.actions), self.coalesced, self.error)
 
     def to_dict(self) -> dict:
         """Plain-data form (the JSONL record)."""
@@ -100,10 +113,12 @@ class Span:
             "start_us": self.start * 1e6,
             "dur_us": self.duration * 1e6,
             "io": [{"op": e.op, "port": e.port, "value": e.value,
-                    "width": e.width, "count": e.count}
+                    "width": e.width, "count": e.count,
+                    "elided": e.elided}
                    for e in self.io],
             "actions": [{"kind": kind, "target": target}
                         for kind, target in self.actions],
+            "coalesced": self.coalesced,
             "error": self.error,
         }
 
@@ -170,12 +185,21 @@ class Collector:
     # -- event feeds (bus and runtimes) ---------------------------------
 
     def io_event(self, op: str, port: int, value: int | None,
-                 width: int, count: int = 1) -> None:
+                 width: int, count: int = 1,
+                 elided: bool = False) -> None:
         span = self._open
         if span is not None:
-            span.io.append(IoEvent(op, port, value, width, count))
+            span.io.append(IoEvent(op, port, value, width, count, elided))
+        elif elided:
+            self.metrics.counter("io.elided_unattributed", op=op).inc()
         else:
             self.metrics.counter("io.unattributed", op=op).inc()
+
+    def mark_coalesced(self) -> None:
+        """Flag the open span: its deferred write joined a txn flush."""
+        span = self._open
+        if span is not None:
+            span.coalesced = True
 
     def record_action(self, kind: str, target: str) -> None:
         span = self._open
@@ -202,9 +226,18 @@ class Collector:
             metrics.counter("var.io_words", device=device,
                             variable=variable).inc(span.io_words)
             metrics.counter("dev.io_ops", device=device).inc(span.io_ops)
+            elided = span.io_elided
+            if elided:
+                metrics.counter("var.io_elided", device=device,
+                                variable=variable).inc(elided)
+        if span.coalesced:
+            metrics.counter("var.coalesced", device=device,
+                            variable=variable).inc()
         metrics.histogram("var.us", device=device,
                           variable=variable).observe(span.duration * 1e6)
         for event in span.io:
+            if event.elided:
+                continue  # no bus traffic to attribute
             owner = self._port_map.get(event.port)
             if owner is None:
                 continue
@@ -377,3 +410,22 @@ class BusObserver:
         collector = self._bus.collector
         if collector is not None:
             collector.record_action(kind, target)
+
+    def io_event(self, op, port, value, width, count=1, elided=False):
+        """Report an elided (cache-served) access for a generated stub.
+
+        Real bus operations reach the collector through the bus itself;
+        this path exists for shadow-cache hits, which cause no bus
+        traffic.  It shares the bus's ``tracing`` gate so instrumented
+        strategies agree on when elided events are visible.
+        """
+        bus = self._bus
+        if bus.tracing:
+            collector = bus.collector
+            if collector is not None:
+                collector.io_event(op, port, value, width, count, elided)
+
+    def mark_coalesced(self):
+        collector = self._bus.collector
+        if collector is not None:
+            collector.mark_coalesced()

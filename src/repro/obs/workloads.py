@@ -255,6 +255,97 @@ WORKLOADS = {
 
 
 # ---------------------------------------------------------------------------
+# Transactional workload variants (shadow cache + txn coalescing)
+# ---------------------------------------------------------------------------
+
+
+def _drive_ide_txn(stubs, aux):
+    """The IDE read-sector setup, written the coalescing way.
+
+    The eight field writes of the command block collapse to one write
+    per register (device/head composes three fields into one ``outb``),
+    and the driver's defensive readbacks of the device/head fields are
+    served by the shadow cache when it is enabled.
+    """
+    with stubs.txn():
+        stubs.set_irq_disabled(True)
+        stubs.set_lba_mode(True)
+        stubs.set_drive("MASTER")
+        stubs.set_head(0)
+        stubs.set_sector_count(1)
+        stubs.set_lba_low(2)
+        stubs.set_lba_mid(0)
+        stubs.set_lba_high(0)
+    results = [stubs.get_lba_mode(), stubs.get_drive(),
+               stubs.get_head(), stubs.get_sector_count()]
+    stubs.set_command("READ_SECTORS")
+    results += [stubs.get_ide_bsy(), stubs.get_ide_drq(),
+                stubs.get_ide_err()]
+    results.append(stubs.read_ide_data_block(256))
+    results += [stubs.get_alt_status(), stubs.get_ide_error(),
+                stubs.get_lba_low()]
+    return results
+
+
+def _drive_ne2000_txn(stubs, aux):
+    """Remote-DMA programming with composed command writes.
+
+    ``START`` and the remote-DMA command live in one command register;
+    each transaction issues them as a single composed write (the
+    ``START | REMOTE_*`` idiom of the hand-written driver), while the
+    byte-count/address setup keeps its program order inside the flush.
+    """
+    with stubs.txn():
+        stubs.set_remote_byte_count(8)
+        stubs.set_remote_start_address(0x4000)
+        stubs.set_st("START")
+        stubs.set_rd("REMOTE_WRITE")
+    stubs.write_dma_data_block([0x0102, 0x0304, 0x0506, 0x0708])
+    with stubs.txn():
+        stubs.set_remote_byte_count(8)
+        stubs.set_remote_start_address(0x4000)
+        stubs.set_rd("REMOTE_READ")
+    return [stubs.read_dma_data_block(4),
+            bytes(aux["nic"].ram[0:8])]
+
+
+def _drive_permedia2_txn(stubs, aux):
+    """A fill-rect primitive queued with packed-register writes.
+
+    The four rectangle fields span two packed registers; a transaction
+    writes each packed word once, exactly like the hand-written
+    driver's two MMIO stores (Table 3's baseline).
+    """
+    stubs.set_pixel_depth("BPP8")
+    stubs.set_fb_write_mask(0xFFFFFFFF)
+    with stubs.txn():
+        stubs.set_block_color(0x55)
+        stubs.set_rect_x(2)
+        stubs.set_rect_y(3)
+        stubs.set_rect_width(8)
+        stubs.set_rect_height(4)
+    stubs.set_render("FILL_RECT")
+    results = [stubs.get_graphics_busy(), stubs.get_fifo_space()]
+    with stubs.txn():
+        stubs.set_rect_x(12)
+        stubs.set_rect_y(13)
+        stubs.set_rect_width(4)
+        stubs.set_rect_height(2)
+        stubs.set_render("FILL_RECT")
+    results += [stubs.get_graphics_busy(), stubs.get_fifo_overflow()]
+    return results
+
+
+#: Workloads exercising ``txn()`` blocks and shadow-served readbacks;
+#: run by the parity suite with the cache both on and off.
+TXN_WORKLOADS = {
+    "ide": _drive_ide_txn,
+    "ne2000": _drive_ne2000_txn,
+    "permedia2": _drive_permedia2_txn,
+}
+
+
+# ---------------------------------------------------------------------------
 # Binding under any strategy (telemetry-aware)
 # ---------------------------------------------------------------------------
 
@@ -277,7 +368,7 @@ def load_generated(name: str, observe: bool = False):
 
 
 def bind_stubs(name: str, strategy: str, bus: Bus, bases: dict,
-               debug: bool = False):
+               debug: bool = False, shadow_cache: bool = False):
     """Bind spec ``name`` to ``bus`` under one execution strategy.
 
     Honours the :mod:`repro.obs` enabled flag uniformly: interpreted
@@ -294,22 +385,38 @@ def bind_stubs(name: str, strategy: str, bus: Bus, bases: dict,
         arguments = [bases[param] for param in spec.model.params]
         if observe:
             stubs = cls(bus, *arguments, debug=debug,
+                        shadow_cache=shadow_cache,
                         observer=BusObserver(bus))
             stubs._obs_ports = model_port_map(spec.model, bases)
             return stubs
-        return cls(bus, *arguments, debug=debug)
+        return cls(bus, *arguments, debug=debug,
+                   shadow_cache=shadow_cache)
     return compile_shipped(name).bind(bus, bases, debug=debug,
-                                      strategy=strategy)
+                                      strategy=strategy,
+                                      shadow_cache=shadow_cache)
 
 
 def run_workload(name: str, strategy: str, debug: bool = False,
-                 trace_limit: int | None = None):
+                 trace_limit: int | None = None,
+                 shadow_cache: bool = False):
     """Build the machine, bind, drive; returns the evidence triple.
 
     ``(results, trace list, accounting snapshot)`` — the comparison
     payload of the three-way parity tests.
     """
     bus, aux, bases = build_machine(name, trace_limit=trace_limit)
-    stubs = bind_stubs(name, strategy, bus, bases, debug)
+    stubs = bind_stubs(name, strategy, bus, bases, debug,
+                       shadow_cache=shadow_cache)
     results = WORKLOADS[name](stubs, aux)
+    return results, list(bus.trace), bus.accounting.snapshot()
+
+
+def run_txn_workload(name: str, strategy: str, debug: bool = False,
+                     trace_limit: int | None = None,
+                     shadow_cache: bool = False):
+    """Like :func:`run_workload` for the transactional variants."""
+    bus, aux, bases = build_machine(name, trace_limit=trace_limit)
+    stubs = bind_stubs(name, strategy, bus, bases, debug,
+                       shadow_cache=shadow_cache)
+    results = TXN_WORKLOADS[name](stubs, aux)
     return results, list(bus.trace), bus.accounting.snapshot()
