@@ -10,6 +10,13 @@ strategies disagree with each other (the parity invariant) and fails
 if any count drifts from the golden file — a one-operation regression
 in any stub is a CI failure, exactly like a perf budget.
 
+A third section pins the **fleet**: single-worker fleet runs of the
+mixed benchmark schedule are deterministic (round-robin assignment at
+submit time, FIFO drain), so their merged port-op totals are golden
+numbers too — a scheduler or thread-safe-bus change that alters what
+reaches the wire fails here even if throughput and parity both look
+fine.
+
 Run with ``--write`` after an intentional change to re-bless the file.
 
 Usage::
@@ -24,6 +31,7 @@ import json
 import pathlib
 import sys
 
+from repro.engine import Fleet, mixed_schedule
 from repro.obs.workloads import (
     STRATEGIES,
     TXN_WORKLOADS,
@@ -66,7 +74,38 @@ def measure() -> dict:
                             f"interpret={reference}")
                 row[label] = reference
             table[section][name] = row
+    table["fleet"] = _measure_fleet()
     return table
+
+
+#: Deterministic single-worker fleet pins: name -> (devices, requests).
+FLEET_CASES = {
+    "mixed_2x3": (["ide", "ide", "permedia2", "permedia2",
+                   "ne2000", "ne2000"], 8),
+    "single_ide": (["ide"], 6),
+}
+
+
+def _measure_fleet() -> dict:
+    """Single-worker fleet profiles, parity-checked across strategies."""
+    section: dict = {}
+    for name, (devices, per_spec) in sorted(FLEET_CASES.items()):
+        specs = tuple(dict.fromkeys(devices))
+        schedule = mixed_schedule(per_spec, specs=specs)
+        profiles = {}
+        for strategy in STRATEGIES:
+            with Fleet(devices, strategy=strategy, workers=1,
+                       policy="round-robin") as fleet:
+                fleet.run(schedule)
+                profiles[strategy] = _profile(fleet.accounting)
+        reference = profiles["interpret"]
+        for strategy, profile in profiles.items():
+            if profile != reference:
+                raise SystemExit(
+                    f"parity violation: fleet/{name} "
+                    f"{strategy}={profile} interpret={reference}")
+        section[name] = reference
+    return section
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,10 +123,12 @@ def main(argv: list[str] | None = None) -> int:
 
     golden = json.loads(GOLDEN.read_text())
     failures = []
-    for section in ("workloads", "txn_workloads"):
-        for name in sorted(set(golden[section]) | set(current[section])):
-            expected = golden[section].get(name)
-            actual = current[section].get(name)
+    for section in ("workloads", "txn_workloads", "fleet"):
+        golden_rows = golden.get(section, {})
+        current_rows = current.get(section, {})
+        for name in sorted(set(golden_rows) | set(current_rows)):
+            expected = golden_rows.get(name)
+            actual = current_rows.get(name)
             if expected != actual:
                 failures.append(
                     f"{section}/{name}:\n"

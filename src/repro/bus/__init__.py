@@ -18,6 +18,7 @@ from .bus import (
     MappedDevice,
     iter_operations,
 )
+from .concurrent import ThreadSafeBus
 
 __all__ = [
     "Bus",
@@ -25,5 +26,6 @@ __all__ = [
     "IoAccounting",
     "IoTraceEntry",
     "MappedDevice",
+    "ThreadSafeBus",
     "iter_operations",
 ]

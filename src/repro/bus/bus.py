@@ -115,6 +115,27 @@ class IoAccounting:
                             dict(self.block_words_by_width),
                             self.elided_reads, self.coalesced_writes)
 
+    def add(self, other: "IoAccounting") -> "IoAccounting":
+        """Accumulate ``other``'s counters into this one (returns self).
+
+        The merge half of the shard/merge API used by
+        :class:`~repro.bus.concurrent.ThreadSafeBus`: per-device shards
+        are summed into one consistent view.
+        """
+        self.reads += other.reads
+        self.writes += other.writes
+        self.block_ops += other.block_ops
+        self.block_words += other.block_words
+        for width, count in other.single_by_width.items():
+            self.single_by_width[width] = \
+                self.single_by_width.get(width, 0) + count
+        for width, words in other.block_words_by_width.items():
+            self.block_words_by_width[width] = \
+                self.block_words_by_width.get(width, 0) + words
+        self.elided_reads += other.elided_reads
+        self.coalesced_writes += other.coalesced_writes
+        return self
+
     def delta(self, earlier: "IoAccounting") -> "IoAccounting":
         """Counters accumulated since ``earlier`` (a prior snapshot)."""
         widths = set(self.single_by_width) | set(earlier.single_by_width)
@@ -180,6 +201,11 @@ class _Mapping:
     size: int
     device: MappedDevice
     name: str
+    #: Per-device lock and accounting shard, populated only by
+    #: :class:`~repro.bus.concurrent.ThreadSafeBus`; the base bus never
+    #: touches either, so the single-threaded hot path pays nothing.
+    lock: object = None
+    shard: object = None
 
     def contains(self, port: int) -> bool:
         return self.base <= port < self.base + self.size
@@ -234,6 +260,16 @@ class Bus:
                 len(trace) >= self.trace_limit:
             self.trace_dropped += 1  # the deque evicts the oldest entry
         trace.append(entry)
+
+    def _trace_extend(self, entries: list[IoTraceEntry]) -> None:
+        """Append one block operation's per-word entries.
+
+        A single overridable point so :class:`ThreadSafeBus` can keep
+        the group contiguous in the ring buffer under concurrent
+        writers (``iter_operations`` relies on block contiguity).
+        """
+        for entry in entries:
+            self._trace_add(entry)
 
     # ------------------------------------------------------------------
     # Topology
@@ -385,9 +421,9 @@ class Bus:
         self.accounting.block_words += count
         self.accounting.record_block(width, count)
         if self.tracing:
-            for value in values:
-                self._trace_add(
-                    IoTraceEntry("rb", port, value, width, count))
+            self._trace_extend(
+                [IoTraceEntry("rb", port, value, width, count)
+                 for value in values])
             collector = self.collector
             if collector is not None:
                 collector.io_event("rb", port, None, width, count)
@@ -410,9 +446,9 @@ class Bus:
         if traced is not None:
             # Entries carry the operation's final word count, so the
             # trace is appended once the transfer length is known.
-            for value in traced:
-                self._trace_add(
-                    IoTraceEntry("wb", port, value, width, count))
+            self._trace_extend(
+                [IoTraceEntry("wb", port, value, width, count)
+                 for value in traced])
             collector = self.collector
             if collector is not None:
                 collector.io_event("wb", port, None, width, count)

@@ -8,6 +8,8 @@ Usage::
     devilc dump   SPEC.devil             print the resolved model
     devilc trace  NAME [--format=...]    replay a shipped driver
                                          workload with telemetry
+    devilc fleet  [--devices ide:4 ...]  drive a concurrent device
+                                         fleet, report throughput
 
 (``devil`` is installed as an alias of ``devilc``; ``devil trace
 busmouse --format=chrome`` is the quick-start of docs/LANGUAGE.md.)
@@ -113,6 +115,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "buffer; drops are counted)")
     trace.add_argument("--debug", action="store_true",
                        help="bind the stubs in debug mode")
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="run a concurrent device fleet and report throughput")
+    fleet.add_argument("--devices", nargs="+", default=["ide:2",
+                                                        "permedia2:2",
+                                                        "ne2000:2"],
+                       metavar="SPEC[:COUNT]",
+                       help="fleet composition (default: ide:2 "
+                            "permedia2:2 ne2000:2); every spec needs "
+                            "a shipped workload")
+    fleet.add_argument("--workers", type=int, default=4,
+                       help="worker threads (default: 4)")
+    fleet.add_argument("--requests", type=int, default=32,
+                       help="requests per device spec (default: 32)")
+    fleet.add_argument("--policy", default="round-robin",
+                       choices=("round-robin", "least-loaded"),
+                       help="dispatch policy (default: round-robin)")
+    fleet.add_argument("--strategy", default="specialize",
+                       choices=("interpret", "specialize", "generated"),
+                       help="execution strategy (default: specialize)")
+    fleet.add_argument("--latency-us", type=float, default=20.0,
+                       help="sleeping port latency charged per bus op "
+                            "(default: 20.0; 0 disables)")
+    fleet.add_argument("--word-latency-us", type=float, default=0.2,
+                       help="extra latency per block word "
+                            "(default: 0.2)")
+    fleet.add_argument("--shadow-cache", action="store_true",
+                       help="enable the register shadow cache")
     return parser
 
 
@@ -126,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
 def _run(arguments) -> int:
     if arguments.command == "trace":
         return _run_trace(arguments)
+    if arguments.command == "fleet":
+        return _run_fleet(arguments)
     try:
         spec = compile_file(arguments.spec)
     except DevilError as error:
@@ -225,6 +258,61 @@ def _run_trace(arguments) -> int:
             handle.write(text)
     else:
         sys.stdout.write(text)
+    return 0
+
+
+def _run_fleet(arguments) -> int:
+    """Drive a concurrent fleet of shipped devices; print throughput."""
+    import time
+
+    from ..engine import MIXED_REQUESTS, Fleet
+    from ..obs.workloads import WORKLOADS
+    from ..specs import SPEC_NAMES
+
+    devices: list[str] = []
+    for item in arguments.devices:
+        spec, _, count_text = item.partition(":")
+        if spec not in SPEC_NAMES:
+            print(f"unknown shipped spec {spec!r}; choose from: "
+                  f"{', '.join(SPEC_NAMES)}", file=sys.stderr)
+            return 1
+        try:
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            print(f"bad device count in {item!r}", file=sys.stderr)
+            return 1
+        devices.extend([spec] * count)
+
+    specs = sorted(set(devices))
+    requests = {spec: MIXED_REQUESTS.get(spec, WORKLOADS[spec])
+                for spec in specs}
+
+    with Fleet(devices, strategy=arguments.strategy,
+               policy=arguments.policy, workers=arguments.workers,
+               shadow_cache=arguments.shadow_cache,
+               op_latency_us=arguments.latency_us,
+               word_latency_us=arguments.word_latency_us) as fleet:
+        start = time.perf_counter()
+        for _ in range(arguments.requests):
+            for spec in specs:
+                fleet.submit(spec, requests[spec])
+        fleet.drain()
+        elapsed = time.perf_counter() - start
+        total = fleet.completed()
+        accounting = fleet.accounting
+        print(f"fleet: {len(devices)} devices "
+              f"({', '.join(arguments.devices)}), "
+              f"{arguments.workers} workers, {arguments.policy}, "
+              f"{arguments.strategy}")
+        print(f"  {total} requests in {elapsed * 1e3:.1f} ms "
+              f"({total / elapsed:.0f} req/s)")
+        print(f"  port ops: total={accounting.total_ops} "
+              f"reads={accounting.reads} writes={accounting.writes} "
+              f"block_ops={accounting.block_ops} "
+              f"block_words={accounting.block_words}")
+        for session in fleet.sessions:
+            print(f"  {session.label:<12} {session.completed:>6} "
+                  f"requests")
     return 0
 
 

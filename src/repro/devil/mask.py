@@ -24,6 +24,13 @@ the figures' convention.)
 Masks are value objects; the checker uses them for the "no overlapping
 definitions" rule and the code generators use them to compute the AND/OR
 constants of the emitted stubs, exactly like Figure 3c of the paper.
+
+Thread-safety: a :class:`Mask` is frozen and every derived bit-set view
+(``variable_bits``, ``forced_value``, ...) is precomputed eagerly in
+``__post_init__`` — there is deliberately *no* lazy memoization here,
+so masks may be shared freely across fleet worker threads without
+locking (unlike the lazily-derived caches in :mod:`repro.devil.model`,
+which publish under a lock).
 """
 
 from __future__ import annotations

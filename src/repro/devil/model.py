@@ -13,12 +13,26 @@ Figure 3c, plus the metadata for the optional run-time checks of §3.2.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .ast import Behaviors, PortParam
 from .errors import SourceLocation, UNKNOWN_LOCATION
 from .mask import Mask
 from .types import DevilType
+
+#: Guards *population* of the lazy derivation caches below
+#: (``ResolvedVariable.width``/``registers``/``chunks_of``,
+#: ``ResolvedDevice.variables_of_register``).  The hot path — a cache
+#: hit — stays a plain ``__dict__`` probe with no lock: publication is
+#: a single atomic dict assignment of a fully built value, so readers
+#: either see nothing (and take the lock to build) or a complete
+#: cache.  The lock only serializes concurrent *misses*, preventing
+#: two threads from interleaving partial population (one shared lock
+#: is enough: misses happen once per model per process).  It is an
+#: RLock because the derivations nest — ``chunks_of`` consults
+#: ``width`` while holding the lock, and both may be cold.
+_MEMO_LOCK = threading.RLock()
 
 
 # ---------------------------------------------------------------------------
@@ -227,9 +241,12 @@ class ResolvedVariable:
     def width(self) -> int:
         cache = self.__dict__.get("_width_cache")
         if cache is None or cache[0] != len(self.chunks):
-            cache = (len(self.chunks),
-                     sum(chunk.width for chunk in self.chunks))
-            self.__dict__["_width_cache"] = cache
+            with _MEMO_LOCK:
+                cache = self.__dict__.get("_width_cache")
+                if cache is None or cache[0] != len(self.chunks):
+                    cache = (len(self.chunks),
+                             sum(chunk.width for chunk in self.chunks))
+                    self.__dict__["_width_cache"] = cache
         return cache[1]
 
     def registers(self) -> list[str]:
@@ -238,12 +255,15 @@ class ResolvedVariable:
             return list(self.serialization)
         cache = self.__dict__.get("_registers_cache")
         if cache is None or cache[0] != len(self.chunks):
-            seen: list[str] = []
-            for chunk in self.chunks:
-                if chunk.register not in seen:
-                    seen.append(chunk.register)
-            cache = (len(self.chunks), seen)
-            self.__dict__["_registers_cache"] = cache
+            with _MEMO_LOCK:
+                cache = self.__dict__.get("_registers_cache")
+                if cache is None or cache[0] != len(self.chunks):
+                    seen: list[str] = []
+                    for chunk in self.chunks:
+                        if chunk.register not in seen:
+                            seen.append(chunk.register)
+                    cache = (len(self.chunks), seen)
+                    self.__dict__["_registers_cache"] = cache
         return list(cache[1])
 
     def chunks_of(self, register: str) -> list[tuple[ResolvedChunk, int]]:
@@ -252,21 +272,28 @@ class ResolvedVariable:
 
         Memoized per register (callers iterate, never mutate): the
         interpreter walks this on every composed write and transaction
-        defer.  Caches invalidate if chunks are still being populated.
+        defer.  Caches invalidate if chunks are still being populated;
+        misses populate under :data:`_MEMO_LOCK` (double-checked) so
+        concurrent first calls cannot interleave.
         """
         cache = self.__dict__.get("_chunks_of_cache")
-        if cache is None or cache[0] != len(self.chunks):
-            cache = (len(self.chunks), {})
-            self.__dict__["_chunks_of_cache"] = cache
-        result = cache[1].get(register)
+        result = None if cache is None or cache[0] != len(self.chunks) \
+            else cache[1].get(register)
         if result is None:
-            result = []
-            offset = self.width
-            for chunk in self.chunks:
-                offset -= chunk.width
-                if chunk.register == register:
-                    result.append((chunk, offset))
-            cache[1][register] = result
+            with _MEMO_LOCK:
+                cache = self.__dict__.get("_chunks_of_cache")
+                if cache is None or cache[0] != len(self.chunks):
+                    cache = (len(self.chunks), {})
+                    self.__dict__["_chunks_of_cache"] = cache
+                result = cache[1].get(register)
+                if result is None:
+                    result = []
+                    offset = self.width
+                    for chunk in self.chunks:
+                        offset -= chunk.width
+                        if chunk.register == register:
+                            result.append((chunk, offset))
+                    cache[1][register] = result
         return result
 
 
@@ -325,20 +352,26 @@ class ResolvedDevice:
         register write and the specializer in every compose-emission
         loop, so the linear scan over all variables is built once per
         variable-set generation (keyed by the variable count, which only
-        grows while the checker is still populating the model).
+        grows while the checker is still populating the model).  Misses
+        rebuild under :data:`_MEMO_LOCK` and publish the finished map
+        with one atomic assignment, so concurrent threads compiling or
+        binding the same model never observe a half-built owners table.
         """
         cached = self.__dict__.get("_owners_cache")
         if cached is None or cached[0] != len(self.variables):
-            owners: dict[str, list[ResolvedVariable]] = {}
-            for variable in self.variables.values():
-                seen: set[str] = set()
-                for chunk in variable.chunks:
-                    if chunk.register not in seen:
-                        seen.add(chunk.register)
-                        owners.setdefault(chunk.register, []).append(
-                            variable)
-            cached = (len(self.variables), owners)
-            self.__dict__["_owners_cache"] = cached
+            with _MEMO_LOCK:
+                cached = self.__dict__.get("_owners_cache")
+                if cached is None or cached[0] != len(self.variables):
+                    owners: dict[str, list[ResolvedVariable]] = {}
+                    for variable in self.variables.values():
+                        seen: set[str] = set()
+                        for chunk in variable.chunks:
+                            if chunk.register not in seen:
+                                seen.add(chunk.register)
+                                owners.setdefault(chunk.register,
+                                                  []).append(variable)
+                    cached = (len(self.variables), owners)
+                    self.__dict__["_owners_cache"] = cached
         return cached[1].get(register, [])
 
     def port_of(self, port: tuple[str, int]) -> int:

@@ -33,6 +33,8 @@ execution strategies cannot drift apart.
 
 from __future__ import annotations
 
+import threading
+
 from .errors import DevilRuntimeError, SourceLocation
 from .plan import access_plan
 from .model import (
@@ -1082,6 +1084,12 @@ class _Specializer:
 #: memoized by ``specs.compile_shipped``).
 _FACTORY_CACHE: dict[int, tuple[ResolvedDevice, dict]] = {}
 
+#: Serializes cache *misses* only (generation + ``exec`` of one
+#: specialization).  Hits never touch it: a published entry is complete
+#: (the per-model dict assignment is atomic), so concurrent binds of an
+#: already-specialized key stay lock-free.
+_FACTORY_LOCK = threading.Lock()
+
 
 def specialized_factory(model: ResolvedDevice, bases: dict[str, int],
                         debug: bool, composition: str,
@@ -1094,22 +1102,30 @@ def specialized_factory(model: ResolvedDevice, bases: dict[str, int],
     ``instrumented`` selects the telemetry variant (action probes
     emitted inline); it is part of the key, so enabling
     :mod:`repro.obs` never mutates sources served to uninstrumented
-    bindings.
+    bindings.  Thread-safe: two threads binding the same spec
+    concurrently specialize it exactly once (double-checked under
+    :data:`_FACTORY_LOCK`) and both receive the same entry.
     """
     key = (tuple(sorted(bases.items())), debug, composition, instrumented,
            shadow_cache)
     _, per_model = _FACTORY_CACHE.setdefault(id(model), (model, {}))
     entry = per_model.get(key)
     if entry is None:
-        specializer = _Specializer(model, bases, debug, composition,
-                                   instrumented, shadow_cache)
-        source = specializer.generate()
-        code = compile(source, f"<devil-specialize:{model.name}>", "exec")
-        namespace = specializer.namespace
-        exec(code, namespace)
-        entry = (namespace["_factory"], source,
-                 tuple(specializer.stub_names))
-        per_model[key] = entry
+        with _FACTORY_LOCK:
+            entry = per_model.get(key)
+            if entry is None:
+                specializer = _Specializer(model, bases, debug,
+                                           composition, instrumented,
+                                           shadow_cache)
+                source = specializer.generate()
+                code = compile(source,
+                               f"<devil-specialize:{model.name}>",
+                               "exec")
+                namespace = specializer.namespace
+                exec(code, namespace)
+                entry = (namespace["_factory"], source,
+                         tuple(specializer.stub_names))
+                per_model[key] = entry
     return entry
 
 

@@ -1,0 +1,62 @@
+"""Concurrent device-fleet engine.
+
+Builds on the thread-safe bus (:class:`repro.bus.ThreadSafeBus`) to
+run driver-shaped request streams against a *fleet* of simulated
+devices in parallel: a :class:`Fleet` maps N shipped devices into one
+port space, a scheduling policy routes each request to a per-device
+session, and a bounded worker pool executes them with backpressure.
+
+See ``docs/CONCURRENCY.md`` for the locking model and
+``benchmarks/bench_fleet.py`` for the throughput numbers.
+"""
+
+from .fleet import (
+    SLOT_STRIDE,
+    DeviceSession,
+    Fleet,
+    LatencyBus,
+    map_fleet_device,
+)
+from .pool import WorkerError, WorkerPool
+from .requests import (
+    MIXED_REQUESTS,
+    ide_sector_read,
+    ide_sector_read_txn,
+    ne2000_ring_poll,
+    pm2_fill_rect,
+)
+from .scheduler import (
+    SCHEDULERS,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from .stress import (
+    fingerprint,
+    fleet_fingerprint,
+    mixed_schedule,
+    run_stress,
+)
+
+__all__ = [
+    "SLOT_STRIDE",
+    "DeviceSession",
+    "Fleet",
+    "LatencyBus",
+    "map_fleet_device",
+    "WorkerError",
+    "WorkerPool",
+    "MIXED_REQUESTS",
+    "ide_sector_read",
+    "ide_sector_read_txn",
+    "ne2000_ring_poll",
+    "pm2_fill_rect",
+    "SCHEDULERS",
+    "LeastLoadedScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "fingerprint",
+    "fleet_fingerprint",
+    "mixed_schedule",
+    "run_stress",
+]

@@ -1,0 +1,92 @@
+"""Canonical fleet requests: the mixed workload of the benchmarks.
+
+Each request has the shipped-workload shape ``fn(stubs, aux)`` and is
+deliberately *idempotent on device state*: running it N times against
+one device leaves that device in the same final state regardless of
+which other (idempotent) requests interleaved on *other* devices.
+That property lets the stress suite compare a parallel run against a
+single-worker reference run request-for-request.
+
+The mix mirrors a small machine under real load:
+
+* :func:`ide_sector_read` — a one-sector PIO read: coalesced command
+  block programming, status poll, a 256-word block-in.  Heavy on block
+  words; the latency model makes it the slow request of the mix.
+* :func:`pm2_fill_rect` — a Permedia2 FILL_RECT primitive: packed
+  register writes, render trigger, busy poll.  Write-heavy, short.
+* :func:`ne2000_ring_poll` — the NE2000 receive-ring service loop's
+  idle branch: read ISR bits, boundary, current page.  Read-heavy,
+  shortest; volatile registers defeat the shadow cache, as they must.
+"""
+
+from __future__ import annotations
+
+
+def ide_sector_read(stubs, aux):
+    """Program a 1-sector LBA read of sector 2 and drain the data FIFO."""
+    stubs.set_irq_disabled(True)
+    stubs.set_lba_mode(True)
+    stubs.set_drive("MASTER")
+    stubs.set_head(0)
+    stubs.set_sector_count(1)
+    stubs.set_lba_low(2)
+    stubs.set_lba_mid(0)
+    stubs.set_lba_high(0)
+    stubs.set_command("READ_SECTORS")
+    if stubs.get_ide_err():
+        raise RuntimeError("IDE device reported an error")
+    data = stubs.read_ide_data_block(256)
+    stubs.get_alt_status()
+    return data
+
+
+def ide_sector_read_txn(stubs, aux):
+    """The same sector read with the command block in one transaction."""
+    with stubs.txn():
+        stubs.set_irq_disabled(True)
+        stubs.set_lba_mode(True)
+        stubs.set_drive("MASTER")
+        stubs.set_head(0)
+        stubs.set_sector_count(1)
+        stubs.set_lba_low(2)
+        stubs.set_lba_mid(0)
+        stubs.set_lba_high(0)
+    stubs.set_command("READ_SECTORS")
+    if stubs.get_ide_err():
+        raise RuntimeError("IDE device reported an error")
+    data = stubs.read_ide_data_block(256)
+    stubs.get_alt_status()
+    return data
+
+
+def pm2_fill_rect(stubs, aux):
+    """Queue one FILL_RECT primitive and poll it to completion."""
+    stubs.set_pixel_depth("BPP8")
+    stubs.set_fb_write_mask(0xFFFFFFFF)
+    stubs.set_block_color(0x55)
+    stubs.set_rect_x(2)
+    stubs.set_rect_y(3)
+    stubs.set_rect_width(8)
+    stubs.set_rect_height(4)
+    stubs.set_render("FILL_RECT")
+    busy = stubs.get_graphics_busy()
+    overflow = stubs.get_fifo_overflow()
+    return busy, overflow
+
+
+def ne2000_ring_poll(stubs, aux):
+    """One pass of the receive-ring service loop's polling branch."""
+    received = stubs.get_packet_received()
+    errored = stubs.get_receive_error()
+    overwrite = stubs.get_overwrite_warning()
+    boundary = stubs.get_boundary()
+    current = stubs.get_current_page()
+    return received, errored, overwrite, boundary, current
+
+
+#: The benchmark's mixed fleet: ``spec -> request``.
+MIXED_REQUESTS = {
+    "ide": ide_sector_read,
+    "permedia2": pm2_fill_rect,
+    "ne2000": ne2000_ring_poll,
+}

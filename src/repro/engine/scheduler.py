@@ -1,0 +1,102 @@
+"""Dispatch policies: which device of a fleet serves the next request.
+
+A request names a *spec* ("ide", "permedia2", ...), not a device; the
+scheduler picks one of the fleet's sessions for that spec.  Two
+policies ship:
+
+``round-robin``
+    Rotate through the spec's sessions in order.  Deterministic and
+    cheap; under uniform request cost it is also optimal.
+
+``least-loaded``
+    Pick the session with the fewest requests currently queued or
+    executing.  Better when request costs are skewed (a 256-word IDE
+    sector read next to a 3-op ring poll): slow devices stop absorbing
+    their fair share of new work while idle devices starve.
+
+Both policies keep their bookkeeping (rotation cursor, outstanding
+counters) under one small scheduler lock.  The lock is held only for
+the pick itself — never while a request executes — so it is not a
+serialization point for device I/O.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Scheduler:
+    """Base: owns the spec → sessions index and the policy lock."""
+
+    def __init__(self, sessions):
+        self._lock = threading.Lock()
+        self._by_spec: dict[str, list] = {}
+        for session in sessions:
+            self._by_spec.setdefault(session.spec, []).append(session)
+
+    def specs(self) -> list[str]:
+        return sorted(self._by_spec)
+
+    def _candidates(self, spec: str) -> list:
+        sessions = self._by_spec.get(spec)
+        if not sessions:
+            raise KeyError(
+                f"fleet has no device for spec {spec!r} "
+                f"(available: {', '.join(self.specs()) or 'none'})")
+        return sessions
+
+    def acquire(self, spec: str):
+        """Pick a session for one request against ``spec``."""
+        raise NotImplementedError
+
+    def release(self, session) -> None:
+        """The request handed out by :meth:`acquire` finished."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate through each spec's sessions in mapping order."""
+
+    def __init__(self, sessions):
+        super().__init__(sessions)
+        self._cursor = {spec: 0 for spec in self._by_spec}
+
+    def acquire(self, spec: str):
+        sessions = self._candidates(spec)
+        with self._lock:
+            index = self._cursor[spec]
+            self._cursor[spec] = (index + 1) % len(sessions)
+        return sessions[index]
+
+
+class LeastLoadedScheduler(Scheduler):
+    """Pick the session with the fewest outstanding requests.
+
+    ``outstanding`` counts requests from acquire to release, i.e. both
+    queued-behind-the-session-lock and currently executing.  Ties break
+    by mapping order, which keeps single-threaded runs deterministic.
+    """
+
+    def __init__(self, sessions):
+        super().__init__(sessions)
+        self._outstanding = {id(s): 0 for spec_sessions
+                             in self._by_spec.values()
+                             for s in spec_sessions}
+
+    def acquire(self, spec: str):
+        sessions = self._candidates(spec)
+        with self._lock:
+            chosen = min(sessions,
+                         key=lambda s: self._outstanding[id(s)])
+            self._outstanding[id(chosen)] += 1
+        return chosen
+
+    def release(self, session) -> None:
+        with self._lock:
+            self._outstanding[id(session)] -= 1
+
+
+#: name -> class, for the CLI and the benchmark harness.
+SCHEDULERS = {
+    "round-robin": RoundRobinScheduler,
+    "least-loaded": LeastLoadedScheduler,
+}

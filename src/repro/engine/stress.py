@@ -1,0 +1,119 @@
+"""Exactness instruments: state fingerprints and the parallel-vs-serial
+stress harness.
+
+The fleet engine's correctness claim is not "no crashes" but *lost
+nothing, tore nothing*: a parallel run must produce byte-identical
+device state and byte-identical accounting to the same requests run on
+one worker.  The helpers here make that comparison mechanical:
+
+* :func:`fingerprint` normalizes any device model (nested objects,
+  bytearrays, dataclasses) into hashable plain data so two models can
+  be compared field-for-field.
+* :func:`run_stress` runs one request list twice — parallel and
+  single-worker reference — and asserts both invariants, returning the
+  evidence for the caller (tests, the CLI, the benchmark's stress leg).
+
+Requests must be deterministic and idempotent on device state (the
+shipped ones in :mod:`repro.engine.requests` are) and the fleet must
+use the ``round-robin`` policy, whose submit-time assignment makes the
+request → device mapping independent of worker timing.
+"""
+
+from __future__ import annotations
+
+from .fleet import Fleet
+from .requests import MIXED_REQUESTS
+
+
+def fingerprint(value, _seen: set | None = None):
+    """Normalize a device model graph into comparable plain data."""
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return value
+    if isinstance(value, bytearray):
+        return bytes(value)
+    if _seen is None:
+        _seen = set()
+    marker = id(value)
+    if marker in _seen:
+        return "<cycle>"
+    _seen.add(marker)
+    try:
+        if isinstance(value, dict):
+            return tuple(sorted(
+                (str(key), fingerprint(item, _seen))
+                for key, item in value.items()))
+        if isinstance(value, (list, tuple)):
+            return tuple(fingerprint(item, _seen) for item in value)
+        if isinstance(value, (set, frozenset)):
+            return tuple(sorted(repr(fingerprint(item, _seen))
+                                for item in value))
+        if hasattr(value, "__dict__"):
+            return (type(value).__name__,) + tuple(sorted(
+                (attr, fingerprint(item, _seen))
+                for attr, item in vars(value).items()
+                if not callable(item)))
+        return repr(value)
+    finally:
+        _seen.discard(marker)
+
+
+def fleet_fingerprint(fleet: Fleet):
+    """Fingerprint of every device model in the fleet, by label."""
+    return tuple(
+        (session.label, fingerprint(session.aux))
+        for session in fleet.sessions)
+
+
+def run_stress(devices, schedule, workers: int = 8,
+               strategy: str = "specialize",
+               shadow_cache: bool = False,
+               reference=None):
+    """Run ``schedule`` (a list of ``(spec, request)``) twice: with
+    ``workers`` workers and with one, and assert exact equivalence.
+
+    Returns ``(accounting snapshot, fleet fingerprint)`` — also usable
+    as the ``reference`` of a later call to amortize the serial run
+    across repeated stress iterations.
+    """
+    with Fleet(devices, strategy=strategy, workers=workers,
+               policy="round-robin",
+               shadow_cache=shadow_cache) as fleet:
+        fleet.run(schedule)
+        parallel_accounting = fleet.accounting.snapshot()
+        parallel_state = fleet_fingerprint(fleet)
+        completed = fleet.completed()
+
+    if completed != len(schedule):
+        raise AssertionError(
+            f"fleet completed {completed} of {len(schedule)} requests")
+
+    if reference is None:
+        with Fleet(devices, strategy=strategy, workers=1,
+                   policy="round-robin",
+                   shadow_cache=shadow_cache) as fleet:
+            fleet.run(schedule)
+            reference = (fleet.accounting.snapshot(),
+                         fleet_fingerprint(fleet))
+
+    serial_accounting, serial_state = reference
+    if parallel_accounting != serial_accounting:
+        raise AssertionError(
+            "parallel accounting diverged from the serial reference:\n"
+            f"  parallel: {parallel_accounting}\n"
+            f"  serial:   {serial_accounting}")
+    if parallel_state != serial_state:
+        torn = [label for (label, fp), (_, ref_fp)
+                in zip(parallel_state, serial_state) if fp != ref_fp]
+        raise AssertionError(
+            f"device state diverged from the serial reference on: {torn}")
+    return reference
+
+
+def mixed_schedule(requests_per_spec: int,
+                   specs=("ide", "permedia2", "ne2000")) -> list:
+    """The benchmark's interleaved schedule over the mixed fleet."""
+    schedule = []
+    for _ in range(requests_per_spec):
+        for spec in specs:
+            schedule.append((spec, MIXED_REQUESTS[spec]))
+    return schedule

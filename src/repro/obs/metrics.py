@@ -15,6 +15,7 @@ without cycles.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Callable, Iterable
 
@@ -105,11 +106,18 @@ class MetricsRegistry:
     never hold references across rebinds.  :meth:`flush` pushes a
     snapshot to every registered sink — the pluggable-export point
     (JSONL writers, CI trend collectors, test probes).
+
+    Get-or-create is thread-safe (hit = one dict probe, miss registers
+    under a lock), so fleet workers can share one registry.  Mutating a
+    metric (``inc``/``observe``) is *not* internally locked — the
+    telemetry collector serializes every rollup under its own lock, and
+    per-worker metrics should use distinct label sets.
     """
 
     def __init__(self):
         self._metrics: dict[tuple, Counter | Histogram] = {}
         self._sinks: list[Sink] = []
+        self._lock = threading.Lock()
 
     # -- construction ---------------------------------------------------
 
@@ -117,7 +125,10 @@ class MetricsRegistry:
         key = ("counter", name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
-            metric = self._metrics[key] = Counter(name, labels)
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = self._metrics[key] = Counter(name, labels)
         return metric  # type: ignore[return-value]
 
     def histogram(self, name: str,
@@ -126,7 +137,11 @@ class MetricsRegistry:
         key = ("histogram", name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
-            metric = self._metrics[key] = Histogram(name, labels, buckets)
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = self._metrics[key] = Histogram(
+                        name, labels, buckets)
         return metric  # type: ignore[return-value]
 
     # -- inspection -----------------------------------------------------

@@ -26,6 +26,8 @@ without rebinding.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -123,6 +125,22 @@ class Span:
         }
 
 
+class _WorkerBuffer:
+    """Per-thread span state: the open span, depth, finished spans.
+
+    One buffer per thread that ever reported to the collector.  All
+    fields are touched only by the owning thread (lock-free hot path);
+    the collector merges the ``spans`` lists at read time.
+    """
+
+    __slots__ = ("open", "depth", "spans")
+
+    def __init__(self):
+        self.open: Span | None = None
+        self.depth = 0
+        self.spans: list[Span] = []
+
+
 class Collector:
     """Receives span, action and I/O events; aggregates metrics.
 
@@ -131,18 +149,48 @@ class Collector:
     attribution maps are registered per device at bind time so the
     metrics rollups can report per-register traffic without the bus
     knowing anything about Devil models.
+
+    Thread model: spans never nest *per thread*.  Each reporting thread
+    owns a private :class:`_WorkerBuffer` (open span, depth counter,
+    finished-span list), so the per-event hot path — ``io_event``,
+    ``record_action`` — appends to thread-local state without any lock
+    and parallel workers never serialize on tracing.  Only span
+    *completion* takes the collector lock (sequence number, metrics
+    rollup), once per stub call.  :attr:`spans` merges every worker's
+    buffer ordered by completion sequence; under a single thread this
+    is byte-identical to the pre-concurrency behaviour.
     """
 
     def __init__(self, metrics: MetricsRegistry | None = None,
                  clock=time.perf_counter):
-        self.spans: list[Span] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._open: Span | None = None
-        self._depth = 0
-        self._seq = 0
         self._clock = clock
         #: ``port -> (device, register)`` for metrics attribution.
         self._port_map: dict[int, tuple[str, str]] = {}
+        #: Guards the buffer list, sequence numbering and every metrics
+        #: mutation (rollups and unattributed-I/O counters).
+        self._lock = threading.Lock()
+        self._buffers: list[_WorkerBuffer] = []
+        self._tls = threading.local()
+        self._seq = itertools.count()
+
+    def _buffer(self) -> _WorkerBuffer:
+        buffer = getattr(self._tls, "buffer", None)
+        if buffer is None:
+            buffer = _WorkerBuffer()
+            self._tls.buffer = buffer
+            with self._lock:
+                self._buffers.append(buffer)
+        return buffer
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every finished span, merged across workers in seq order."""
+        with self._lock:
+            merged = [span for buffer in self._buffers
+                      for span in buffer.spans]
+        merged.sort(key=lambda span: span.seq)
+        return merged
 
     # -- wiring ---------------------------------------------------------
 
@@ -157,60 +205,66 @@ class Collector:
 
     def span_start(self, device: str, stub: str, variable: str,
                    kind: str, strategy: str) -> None:
-        if self._depth:
-            self._depth += 1
+        buffer = self._buffer()
+        if buffer.depth:
+            buffer.depth += 1
             return
-        self._depth = 1
-        self._open = Span(device=device, stub=stub, variable=variable,
-                          kind=kind, strategy=strategy,
-                          start=self._clock())
+        buffer.depth = 1
+        buffer.open = Span(device=device, stub=stub, variable=variable,
+                           kind=kind, strategy=strategy,
+                           start=self._clock())
 
     def span_end(self, error: str | None = None) -> None:
-        self._depth -= 1
-        span = self._open
-        if self._depth or span is None:
+        buffer = self._buffer()
+        buffer.depth -= 1
+        span = buffer.open
+        if buffer.depth or span is None:
             if error is not None and span is not None \
                     and span.error is None:
                 span.error = error
             return
-        self._open = None
+        buffer.open = None
         span.duration = self._clock() - span.start
         if error is not None and span.error is None:
             span.error = error
-        span.seq = self._seq
-        self._seq += 1
-        self.spans.append(span)
-        self._roll_up(span)
+        with self._lock:
+            span.seq = next(self._seq)
+            buffer.spans.append(span)
+            self._roll_up(span)
 
     # -- event feeds (bus and runtimes) ---------------------------------
 
     def io_event(self, op: str, port: int, value: int | None,
                  width: int, count: int = 1,
                  elided: bool = False) -> None:
-        span = self._open
+        span = self._buffer().open
         if span is not None:
             span.io.append(IoEvent(op, port, value, width, count, elided))
-        elif elided:
-            self.metrics.counter("io.elided_unattributed", op=op).inc()
-        else:
-            self.metrics.counter("io.unattributed", op=op).inc()
+            return
+        with self._lock:
+            if elided:
+                self.metrics.counter("io.elided_unattributed",
+                                     op=op).inc()
+            else:
+                self.metrics.counter("io.unattributed", op=op).inc()
 
     def mark_coalesced(self) -> None:
         """Flag the open span: its deferred write joined a txn flush."""
-        span = self._open
+        span = self._buffer().open
         if span is not None:
             span.coalesced = True
 
     def record_action(self, kind: str, target: str) -> None:
-        span = self._open
+        span = self._buffer().open
         if span is not None:
             span.actions.append((kind, target))
 
     def record_trace_drops(self, dropped: int) -> None:
         """Surface the bus ring-buffer drop count (absolute value)."""
-        counter = self.metrics.counter("bus.trace_dropped")
-        if dropped > counter.value:
-            counter.inc(dropped - counter.value)
+        with self._lock:
+            counter = self.metrics.counter("bus.trace_dropped")
+            if dropped > counter.value:
+                counter.inc(dropped - counter.value)
 
     # -- metrics rollups -------------------------------------------------
 
@@ -251,8 +305,15 @@ class Collector:
     # -- convenience ------------------------------------------------------
 
     def clear(self) -> None:
-        self.spans.clear()
-        self._seq = 0
+        """Drop every finished span and restart sequence numbering.
+
+        Open spans (a worker mid-call) are left alone; they land in the
+        fresh numbering when they complete.
+        """
+        with self._lock:
+            for buffer in self._buffers:
+                buffer.spans.clear()
+            self._seq = itertools.count()
 
     def signatures(self) -> list[tuple]:
         return [span.signature() for span in self.spans]

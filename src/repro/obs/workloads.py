@@ -13,6 +13,8 @@ PC I/O map where one exists.
 
 from __future__ import annotations
 
+import threading
+
 from ..bus import Bus
 from ..devices.busmouse import REGION_SIZE as MOUSE_REGION
 from ..devices.busmouse import BusmouseModel
@@ -351,19 +353,29 @@ TXN_WORKLOADS = {
 
 #: ``(spec name, observe) -> generated stub class`` — exec'd once each.
 _GENERATED_CACHE: dict[tuple[str, bool], type] = {}
+_GENERATED_LOCK = threading.Lock()
 
 
 def load_generated(name: str, observe: bool = False):
-    """exec the generated module for ``name``; returns its stub class."""
+    """exec the generated module for ``name``; returns its stub class.
+
+    Thread-safe (hit: one dict probe; miss: emit + exec exactly once
+    under a lock) so concurrent fleet binds share one stub class.
+    """
     key = (name, observe)
     cls = _GENERATED_CACHE.get(key)
     if cls is None:
-        source = compile_shipped(name).emit_python(observe=observe)
-        namespace: dict = {}
-        exec(compile(source, f"{name}_stubs.py", "exec"), namespace)
-        (cls,) = [value for attr, value in namespace.items()
-                  if attr.endswith("Stubs")]
-        _GENERATED_CACHE[key] = cls
+        with _GENERATED_LOCK:
+            cls = _GENERATED_CACHE.get(key)
+            if cls is None:
+                source = compile_shipped(name).emit_python(
+                    observe=observe)
+                namespace: dict = {}
+                exec(compile(source, f"{name}_stubs.py", "exec"),
+                     namespace)
+                (cls,) = [value for attr, value in namespace.items()
+                          if attr.endswith("Stubs")]
+                _GENERATED_CACHE[key] = cls
     return cls
 
 

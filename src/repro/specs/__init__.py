@@ -9,8 +9,8 @@ reports on (mouse, DMA, interrupt, Ethernet, sound, IDE disk, video).
 
 from __future__ import annotations
 
-import functools
 import importlib.resources
+import threading
 
 from ..devil.compiler import CompiledSpec, compile_spec
 
@@ -34,13 +34,27 @@ def load_source(name: str) -> str:
     return resource.read_text(encoding="utf-8")
 
 
-@functools.lru_cache(maxsize=None)
+_COMPILED: dict[str, CompiledSpec] = {}
+_COMPILE_LOCK = threading.Lock()
+
+
 def compile_shipped(name: str) -> CompiledSpec:
     """Compile the shipped specification ``name``.
 
     Shipped specifications never change within a process, so the result
     is memoized: every caller shares one :class:`CompiledSpec` (treat it
     as immutable).  Parsing and checking therefore happen once per spec
-    per process instead of once per ``bind()`` call site.
+    per process instead of once per ``bind()`` call site.  The memo is
+    thread-safe: a hit is a single dict probe, a miss compiles exactly
+    once under a lock (double-checked), so concurrent fleet workers can
+    never interleave cache population or observe a half-compiled spec.
     """
-    return compile_spec(load_source(name), filename=f"{name}.devil")
+    spec = _COMPILED.get(name)
+    if spec is None:
+        with _COMPILE_LOCK:
+            spec = _COMPILED.get(name)
+            if spec is None:
+                spec = compile_spec(load_source(name),
+                                    filename=f"{name}.devil")
+                _COMPILED[name] = spec
+    return spec
