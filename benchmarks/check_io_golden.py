@@ -78,33 +78,74 @@ def measure() -> dict:
     return table
 
 
-#: Deterministic single-worker fleet pins: name -> (devices, requests).
+#: Deterministic fleet pins.  Each case pins the merged port-op
+#: profile *and* the request placement (``completed_by_device``) —
+#: both are pure functions of submission order under the
+#: deterministic policies, so the scheduler itself is under the
+#: golden gate: a tie-break or credit-accounting change in
+#: round-robin or weighted-round-robin shows up as a placement diff
+#: here even when the port totals happen to survive.
 FLEET_CASES = {
-    "mixed_2x3": (["ide", "ide", "permedia2", "permedia2",
-                   "ne2000", "ne2000"], 8),
-    "single_ide": (["ide"], 6),
+    "mixed_2x3": {
+        "devices": ["ide", "ide", "permedia2", "permedia2",
+                    "ne2000", "ne2000"],
+        "per_spec": 8,
+    },
+    "single_ide": {"devices": ["ide"], "per_spec": 6},
+    # The smooth weighted round-robin pin: 3:1 credits over two disks
+    # must place requests 6:2 — and identically on the process
+    # backend (cross-checked below).
+    "weighted_ide_3to1": {
+        "devices": ["ide", "ide"],
+        "per_spec": 8,
+        "policy": "weighted-round-robin",
+        "weights": {"ide0": 3, "ide1": 1},
+    },
 }
 
 
 def _measure_fleet() -> dict:
-    """Single-worker fleet profiles, parity-checked across strategies."""
+    """Single-worker fleet profiles, parity-checked across strategies
+    and cross-checked against the process backend."""
+    from repro.engine import ProcessFleet
+
     section: dict = {}
-    for name, (devices, per_spec) in sorted(FLEET_CASES.items()):
+    for name, case in sorted(FLEET_CASES.items()):
+        devices = case["devices"]
+        policy = case.get("policy", "round-robin")
+        weights = case.get("weights")
         specs = tuple(dict.fromkeys(devices))
-        schedule = mixed_schedule(per_spec, specs=specs)
+        schedule = mixed_schedule(case["per_spec"], specs=specs)
         profiles = {}
+        placements = {}
         for strategy in STRATEGIES:
             with Fleet(devices, strategy=strategy, workers=1,
-                       policy="round-robin") as fleet:
+                       policy=policy, weights=weights) as fleet:
                 fleet.run(schedule)
                 profiles[strategy] = _profile(fleet.accounting)
+                placements[strategy] = fleet.completed_by_device()
         reference = profiles["interpret"]
-        for strategy, profile in profiles.items():
-            if profile != reference:
+        placement = placements["interpret"]
+        for strategy in STRATEGIES:
+            if profiles[strategy] != reference \
+                    or placements[strategy] != placement:
                 raise SystemExit(
                     f"parity violation: fleet/{name} "
-                    f"{strategy}={profile} interpret={reference}")
-        section[name] = reference
+                    f"{strategy}={profiles[strategy]}/"
+                    f"{placements[strategy]} "
+                    f"interpret={reference}/{placement}")
+        with ProcessFleet(devices, workers=2, policy=policy,
+                          weights=weights) as fleet:
+            fleet.run(schedule)
+            process_profile = _profile(fleet.accounting)
+            process_placement = fleet.completed_by_device()
+        if process_profile != reference \
+                or process_placement != placement:
+            raise SystemExit(
+                f"backend divergence: fleet/{name} process backend "
+                f"{process_profile}/{process_placement} vs thread "
+                f"{reference}/{placement}")
+        section[name] = {"ports": reference, "completed": placement}
     return section
 
 

@@ -298,6 +298,64 @@ class Bus:
         self._mappings = [m for m in self._mappings if m.device is not device]
         self._port_cache.clear()
 
+    # ------------------------------------------------------------------
+    # State snapshot / restore (the cross-process parity seam)
+    # ------------------------------------------------------------------
+
+    def state_snapshot(self) -> dict[str, bytes]:
+        """``mapping name -> pickled device state``, byte-comparable.
+
+        The end-state parity seam used by the fleet backends: two buses
+        that mapped the same device models under the same names and
+        executed equivalent traffic produce *byte-identical* snapshots,
+        regardless of which process (or backend) ran the traffic.  Each
+        mapping's device is pickled independently with a pinned
+        protocol, so a device shared by several mappings (the NE2000
+        model behind its register file, data port and reset port) is
+        serialized the same way on every side of the comparison.
+
+        For a restorable capture that preserves object sharing between
+        mappings, use :meth:`state_blob` / :meth:`restore_state`.
+        """
+        import pickle
+        snapshot: dict[str, bytes] = {}
+        for mapping in self._mappings:
+            if mapping.name in snapshot:
+                raise BusError(
+                    f"duplicate mapping name {mapping.name!r}: "
+                    f"state_snapshot needs unique names")
+            snapshot[mapping.name] = pickle.dumps(
+                mapping.device, protocol=4)
+        return snapshot
+
+    def state_blob(self) -> bytes:
+        """One pickle of every mapped device, sharing preserved.
+
+        Unlike :meth:`state_snapshot` (independent per-mapping pickles,
+        for comparison), this serializes the whole device list in one
+        payload so aliased models stay aliased across a
+        :meth:`restore_state` round trip.
+        """
+        import pickle
+        return pickle.dumps([m.device for m in self._mappings],
+                            protocol=4)
+
+    def restore_state(self, blob: bytes) -> None:
+        """Replace every mapped device's state from a :meth:`state_blob`.
+
+        The topology (bases, sizes, names, locks, accounting) is left
+        untouched; only the device objects are swapped.  The blob must
+        come from a bus with the same mapping list, in the same order.
+        """
+        import pickle
+        devices = pickle.loads(blob)
+        if len(devices) != len(self._mappings):
+            raise BusError(
+                f"state blob has {len(devices)} devices, bus has "
+                f"{len(self._mappings)} mappings")
+        for mapping, device in zip(self._mappings, devices):
+            mapping.device = device
+
     def _find(self, port: int) -> _Mapping:
         mapping = self._port_cache.get(port)
         if mapping is not None:

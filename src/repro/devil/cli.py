@@ -126,13 +126,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fleet composition (default: ide:2 "
                             "permedia2:2 ne2000:2); every spec needs "
                             "a shipped workload")
+    fleet.add_argument("--backend", default="thread",
+                       choices=("thread", "process"),
+                       help="execution substrate: worker threads on "
+                            "one shared bus, or worker processes each "
+                            "owning a shard of the fleet (default: "
+                            "thread)")
     fleet.add_argument("--workers", type=int, default=4,
-                       help="worker threads (default: 4)")
+                       help="worker threads or processes (default: 4)")
     fleet.add_argument("--requests", type=int, default=32,
                        help="requests per device spec (default: 32)")
     fleet.add_argument("--policy", default="round-robin",
-                       choices=("round-robin", "least-loaded"),
-                       help="dispatch policy (default: round-robin)")
+                       choices=("round-robin", "weighted-round-robin",
+                                "least-loaded"),
+                       help="dispatch policy (default: round-robin; "
+                            "the process backend needs a "
+                            "deterministic one)")
     fleet.add_argument("--strategy", default="specialize",
                        choices=("interpret", "specialize", "generated"),
                        help="execution strategy (default: specialize)")
@@ -265,7 +274,7 @@ def _run_fleet(arguments) -> int:
     """Drive a concurrent fleet of shipped devices; print throughput."""
     import time
 
-    from ..engine import MIXED_REQUESTS, Fleet
+    from ..engine import MIXED_REQUESTS, Fleet, ProcessFleet
     from ..obs.workloads import WORKLOADS
     from ..specs import SPEC_NAMES
 
@@ -287,11 +296,19 @@ def _run_fleet(arguments) -> int:
     requests = {spec: MIXED_REQUESTS.get(spec, WORKLOADS[spec])
                 for spec in specs}
 
-    with Fleet(devices, strategy=arguments.strategy,
-               policy=arguments.policy, workers=arguments.workers,
-               shadow_cache=arguments.shadow_cache,
-               op_latency_us=arguments.latency_us,
-               word_latency_us=arguments.word_latency_us) as fleet:
+    fleet_cls = ProcessFleet if arguments.backend == "process" \
+        else Fleet
+    try:
+        fleet = fleet_cls(
+            devices, strategy=arguments.strategy,
+            policy=arguments.policy, workers=arguments.workers,
+            shadow_cache=arguments.shadow_cache,
+            op_latency_us=arguments.latency_us,
+            word_latency_us=arguments.word_latency_us)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    with fleet:
         start = time.perf_counter()
         for _ in range(arguments.requests):
             for spec in specs:
@@ -302,8 +319,8 @@ def _run_fleet(arguments) -> int:
         accounting = fleet.accounting
         print(f"fleet: {len(devices)} devices "
               f"({', '.join(arguments.devices)}), "
-              f"{arguments.workers} workers, {arguments.policy}, "
-              f"{arguments.strategy}")
+              f"{arguments.workers} {arguments.backend} workers, "
+              f"{arguments.policy}, {arguments.strategy}")
         print(f"  {total} requests in {elapsed * 1e3:.1f} ms "
               f"({total / elapsed:.0f} req/s)")
         print(f"  port ops: total={accounting.total_ops} "

@@ -1,13 +1,25 @@
 """Concurrent device-fleet engine.
 
-Builds on the thread-safe bus (:class:`repro.bus.ThreadSafeBus`) to
-run driver-shaped request streams against a *fleet* of simulated
-devices in parallel: a :class:`Fleet` maps N shipped devices into one
-port space, a scheduling policy routes each request to a per-device
-session, and a bounded worker pool executes them with backpressure.
+Two execution substrates under one request API:
 
-See ``docs/CONCURRENCY.md`` for the locking model and
-``benchmarks/bench_fleet.py`` for the throughput numbers.
+* the **thread backend** (:class:`Fleet`) maps N shipped devices into
+  one port space on a shared :class:`repro.bus.ThreadSafeBus`, routes
+  requests to per-device sessions by a scheduling policy, and executes
+  them on a bounded worker pool with backpressure — it scales with the
+  sleeping-I/O fraction of the mix;
+* the **process backend** (:class:`ProcessFleet`) shards the devices
+  across worker processes, each owning its devices' complete Devil
+  runtime on a private bus slice — it scales CPU-bound mixes the GIL
+  serializes, and merges accounting, traces and spans back exactly.
+
+Placement under the deterministic policies is a pure function of
+submission order in both backends, which is what makes them
+byte-comparable against each other and against a serial reference
+(``tests/test_fleet_mp.py``).
+
+See ``docs/CONCURRENCY.md`` for the locking/sharding model and
+``benchmarks/bench_fleet.py`` / ``benchmarks/bench_fleet_mp.py`` for
+the throughput numbers.
 """
 
 from .fleet import (
@@ -15,21 +27,30 @@ from .fleet import (
     DeviceSession,
     Fleet,
     LatencyBus,
+    fleet_layout,
     map_fleet_device,
+    session_weight,
 )
+from .mp import ProcessFleet, ProcessSession
 from .pool import WorkerError, WorkerPool
 from .requests import (
+    CPU_REQUESTS,
     MIXED_REQUESTS,
+    decode_request,
+    encode_request,
+    ide_sector_checksum,
     ide_sector_read,
     ide_sector_read_txn,
     ne2000_ring_poll,
     pm2_fill_rect,
 )
 from .scheduler import (
+    DETERMINISTIC_POLICIES,
     SCHEDULERS,
     LeastLoadedScheduler,
     RoundRobinScheduler,
     Scheduler,
+    WeightedRoundRobinScheduler,
 )
 from .stress import (
     fingerprint,
@@ -43,18 +64,28 @@ __all__ = [
     "DeviceSession",
     "Fleet",
     "LatencyBus",
+    "ProcessFleet",
+    "ProcessSession",
+    "fleet_layout",
     "map_fleet_device",
+    "session_weight",
     "WorkerError",
     "WorkerPool",
+    "CPU_REQUESTS",
     "MIXED_REQUESTS",
+    "decode_request",
+    "encode_request",
+    "ide_sector_checksum",
     "ide_sector_read",
     "ide_sector_read_txn",
     "ne2000_ring_poll",
     "pm2_fill_rect",
+    "DETERMINISTIC_POLICIES",
     "SCHEDULERS",
     "LeastLoadedScheduler",
     "RoundRobinScheduler",
     "Scheduler",
+    "WeightedRoundRobinScheduler",
     "fingerprint",
     "fleet_fingerprint",
     "mixed_schedule",

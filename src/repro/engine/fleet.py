@@ -65,6 +65,43 @@ SLOT_STRIDE = 0x1000
 Request = Callable[[object, dict], object]
 
 
+def fleet_layout(devices) -> list[tuple[str, str, int]]:
+    """``(spec, label, slot)`` for each device of a fleet composition.
+
+    The single source of truth for fleet naming and port placement,
+    shared by the thread backend (:class:`Fleet`) and the process
+    backend (:class:`~repro.engine.mp.ProcessFleet`): both assign
+    ``<spec><instance>`` labels and ``(index + 1) * SLOT_STRIDE`` slots
+    from the *global* device list, so a device lands on the same ports
+    and mapping names no matter which backend (or worker process) owns
+    it — the property every cross-backend parity check keys on.
+    """
+    layout: list[tuple[str, str, int]] = []
+    counts: dict[str, int] = {}
+    for index, name in enumerate(devices):
+        counts[name] = counts.get(name, 0) + 1
+        label = f"{name}{counts[name] - 1}"
+        layout.append((name, label, (index + 1) * SLOT_STRIDE))
+    return layout
+
+
+def session_weight(weights, label: str, spec: str) -> int:
+    """Resolve one session's scheduling weight.
+
+    ``weights`` maps device *labels* (``"ide0"``) or whole *specs*
+    (``"ide"``) to positive integers; labels win over specs, absent
+    entries default to 1.
+    """
+    if not weights:
+        return 1
+    weight = weights.get(label, weights.get(spec, 1))
+    if not isinstance(weight, int) or weight < 1:
+        raise ValueError(
+            f"weight for {label!r} must be a positive integer, "
+            f"got {weight!r}")
+    return weight
+
+
 class LatencyBus(ThreadSafeBus):
     """A thread-safe bus that charges wall-clock time per operation.
 
@@ -188,6 +225,8 @@ class DeviceSession:
     stubs: object
     aux: dict
     bases: dict
+    #: Scheduling weight for ``weighted-round-robin`` (1 = plain share).
+    weight: int = 1
     lock: threading.Lock = field(default_factory=threading.Lock)
     completed: int = 0
 
@@ -214,12 +253,15 @@ class Fleet:
         print(fleet.accounting.total_ops)
     """
 
+    backend = "thread"
+
     def __init__(self, devices, strategy: str = "specialize",
                  policy: str = "round-robin", workers: int = 4,
                  queue_depth: int = 64, shadow_cache: bool = False,
                  tracing: bool = False, trace_limit: int | None = None,
                  op_latency_us: float = 0.0,
-                 word_latency_us: float = 0.0):
+                 word_latency_us: float = 0.0,
+                 weights: dict | None = None):
         from ..obs.workloads import bind_stubs
 
         if not devices:
@@ -239,17 +281,14 @@ class Fleet:
             self.bus = ThreadSafeBus(tracing=tracing,
                                      trace_limit=trace_limit)
         self.sessions: list[DeviceSession] = []
-        counts: dict[str, int] = {}
-        for index, name in enumerate(devices):
-            counts[name] = counts.get(name, 0) + 1
-            label = f"{name}{counts[name] - 1}"
-            slot = (index + 1) * SLOT_STRIDE
+        for name, label, slot in fleet_layout(devices):
             aux, bases = map_fleet_device(self.bus, name, slot, label)
             stubs = bind_stubs(name, strategy, self.bus, bases,
                                shadow_cache=shadow_cache)
             self.sessions.append(DeviceSession(
                 label=label, spec=name, slot=slot,
-                stubs=stubs, aux=aux, bases=bases))
+                stubs=stubs, aux=aux, bases=bases,
+                weight=session_weight(weights, label, name)))
         self.scheduler = SCHEDULERS[policy](self.sessions)
         self.pool = WorkerPool(workers, queue_depth=queue_depth)
         self.submitted = 0
@@ -306,6 +345,18 @@ class Fleet:
 
     def accounting_by_device(self):
         return self.bus.accounting_by_device()
+
+    def device_states(self) -> dict[str, bytes]:
+        """Byte-comparable per-mapping end-state (see bus seam docs).
+
+        Only sound after :meth:`drain` — like every exactness check.
+        """
+        return self.bus.state_snapshot()
+
+    def completed_by_device(self) -> dict[str, int]:
+        """``label -> completed request count`` (the placement record)."""
+        return {session.label: session.completed
+                for session in self.sessions}
 
     def sessions_of(self, spec: str) -> list[DeviceSession]:
         return [s for s in self.sessions if s.spec == spec]

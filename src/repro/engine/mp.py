@@ -1,0 +1,516 @@
+"""Multiprocessing fleet backend: devices sharded across processes.
+
+:class:`ProcessFleet` is the second execution substrate under the
+fleet engine.  The thread backend (:class:`~repro.engine.fleet.Fleet`)
+scales exactly as far as the GIL lets it — which is far for sleeping
+I/O latency and not at all for CPU-bound request mixes.  The process
+backend shards the *devices* across worker processes instead: each
+worker owns its devices' complete Devil runtime — a private bus slice
+with only its devices mapped (at their global slots), bound stubs,
+shadow caches, transaction contexts, span collector — so the hot path
+crosses no process boundary and takes no cross-process lock at all.
+The only IPC is one queue message per request in and one report per
+sync out.
+
+Design rules (the same exactness contract the thread fleet obeys, see
+``docs/CONCURRENCY.md``):
+
+* **Sharding is a pure function of the device list.**  Device
+  ``index % workers`` picks the owning worker; labels and port slots
+  come from :func:`~repro.engine.fleet.fleet_layout`, shared with the
+  thread backend, so a device's mapping names and absolute ports are
+  identical in every backend — which is what makes end-state and span
+  signatures byte-comparable across substrates.
+* **Placement is a pure function of submission order.**  ``submit``
+  runs the scheduling policy in the parent, exactly like the thread
+  fleet; only :data:`~repro.engine.scheduler.DETERMINISTIC_POLICIES`
+  are allowed (``least-loaded`` needs completion feedback that would
+  reintroduce timing dependence).  Each worker executes its stream in
+  FIFO order, so per-device request order equals submission order.
+* **Requests travel by reference.**  ``submit`` encodes the request
+  callable with :func:`~repro.engine.requests.encode_request` — a
+  validated ``module:qualname`` token — so both backends execute the
+  identical function object and unpicklable callables fail loudly in
+  the submitting process.
+* **Merging is exact.**  At every sync the workers report absolute
+  per-device accounting shards, pickled device end-state
+  (:meth:`repro.bus.Bus.state_snapshot`), their trace rings (block
+  groups contiguous, per-device program order preserved) and their
+  span buffers.  The parent merges shards by label union (labels are
+  globally unique), concatenates traces in worker order and ingests
+  spans into its collector (:meth:`repro.obs.Collector.ingest`), so
+  ``accounting``/``accounting_by_device()``/``device_states()`` answer
+  with the same exact totals the thread fleet computes from its shared
+  bus.
+
+Worker failures mirror the thread pool: request exceptions are
+captured with their tracebacks and re-raised in the parent as one
+:class:`~repro.engine.pool.WorkerError` at ``drain``/``shutdown``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import traceback
+from dataclasses import dataclass, field
+
+from ..bus import IoAccounting
+from .fleet import LatencyBus, fleet_layout, map_fleet_device, \
+    session_weight
+from .pool import WorkerError
+from .requests import decode_request, encode_request
+from .scheduler import DETERMINISTIC_POLICIES, SCHEDULERS
+
+#: Default seconds to wait for one worker's sync report before
+#: declaring it wedged (each report is one queue message; a healthy
+#: worker answers as soon as it reaches the sync marker).
+SYNC_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything a worker process needs to build its fleet slice."""
+
+    worker_id: int
+    #: ``(spec, label, slot)`` triples, in global fleet order.
+    devices: tuple
+    strategy: str
+    shadow_cache: bool
+    tracing: bool
+    trace_limit: int | None
+    op_latency_us: float
+    word_latency_us: float
+    #: Instrument stubs and collect spans in the worker.
+    observe: bool
+
+
+@dataclass
+class ProcessSession:
+    """Parent-side handle for one device owned by a worker process.
+
+    The scheduling policy runs against these proxies exactly as it
+    runs against :class:`~repro.engine.fleet.DeviceSession` objects in
+    the thread backend — it only reads ``spec`` and ``weight``.
+    ``assigned`` counts submit-time placements; ``completed`` is the
+    worker-reported execution count (equal after a clean drain).
+    """
+
+    label: str
+    spec: str
+    slot: int
+    worker: int
+    #: Index into the owning worker's local session list.
+    local_index: int
+    weight: int = 1
+    assigned: int = 0
+    completed: int = 0
+
+
+def _build_worker_bus(config: _WorkerConfig):
+    """The worker's private bus slice with its devices mapped.
+
+    A :class:`LatencyBus`/``ThreadSafeBus`` for exact interface parity
+    with the thread backend (same accounting shards, same
+    ``accounting_by_device``); its locks are process-local and
+    uncontended — the worker is single-threaded — so the hot path
+    stays lock-free in every way that matters.
+    """
+    from ..bus import ThreadSafeBus
+
+    if config.op_latency_us or config.word_latency_us:
+        return LatencyBus(op_latency_us=config.op_latency_us,
+                          word_latency_us=config.word_latency_us,
+                          tracing=config.tracing,
+                          trace_limit=config.trace_limit)
+    return ThreadSafeBus(tracing=config.tracing,
+                         trace_limit=config.trace_limit)
+
+
+def _worker_main(config: _WorkerConfig, requests, results) -> None:
+    """Worker process entry point: build the slice, serve the queue.
+
+    Protocol (all messages tuples, first element the kind):
+
+    * ``("req", local_index, token)`` — decode and execute.
+    * ``("sync", sync_id)`` — reply ``("report", worker_id, sync_id,
+      report)`` on ``results``; queue FIFO guarantees every earlier
+      request is finished, so the report is a quiesced snapshot.
+    * ``("stop",)`` — exit the loop.
+
+    A failure *outside* request execution (a corrupt message, a bus
+    mapping bug) is reported as ``("crash", worker_id, traceback)`` so
+    the parent fails fast instead of timing out.
+    """
+    try:
+        from .. import obs
+
+        collector = None
+        if config.observe:
+            obs.enable()
+            collector = obs.Collector()
+        bus = _build_worker_bus(config)
+        if collector is not None:
+            bus.collector = collector
+
+        from ..obs.workloads import bind_stubs
+
+        sessions = []
+        completed: dict[str, int] = {}
+        for spec, label, slot in config.devices:
+            aux, bases = map_fleet_device(bus, spec, slot, label)
+            stubs = bind_stubs(spec, config.strategy, bus, bases,
+                               shadow_cache=config.shadow_cache)
+            if collector is not None:
+                collector.register_ports(
+                    spec, getattr(stubs, "_obs_ports", {}))
+            sessions.append((label, stubs, aux))
+            completed[label] = 0
+
+        name = f"pfleet-w{config.worker_id}"
+        errors: list[tuple[str, str, str]] = []
+        while True:
+            message = requests.get()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "sync":
+                spans = collector.spans if collector is not None else []
+                if collector is not None:
+                    collector.clear()
+                report = {
+                    "completed": dict(completed),
+                    "accounting": bus.accounting,
+                    "by_device": bus.accounting_by_device(),
+                    "states": bus.state_snapshot(),
+                    "trace": list(bus.trace),
+                    "trace_dropped": bus.trace_dropped,
+                    "spans": spans,
+                    "errors": list(errors),
+                }
+                errors = []
+                results.put(("report", config.worker_id,
+                             message[1], report))
+                continue
+            _, local_index, token = message
+            label, stubs, aux = sessions[local_index]
+            try:
+                request = decode_request(token)
+                request(stubs, aux)
+                completed[label] += 1
+            except BaseException as exc:  # noqa: BLE001 - reported at drain
+                errors.append((f"{name}/{label}", repr(exc),
+                               traceback.format_exc()))
+    except BaseException:  # noqa: BLE001 - the parent re-raises
+        results.put(("crash", config.worker_id,
+                     traceback.format_exc()))
+
+
+class ProcessFleet:
+    """N shipped devices sharded across worker processes.
+
+    Drop-in for :class:`~repro.engine.fleet.Fleet` for every
+    inspection surface the exactness harnesses use — ``submit``,
+    ``run``, ``drain``, ``accounting``, ``accounting_by_device()``,
+    ``device_states()``, ``completed()``, context management — with
+    requests restricted to picklable module-level callables and the
+    policy restricted to the deterministic schedulers.
+
+    ``workers`` is the number of *processes* (clamped to the device
+    count: a device is owned by exactly one process).  ``mp_context``
+    selects the start method (default: ``fork`` where the platform
+    offers it — it inherits the parent's warm spec/model caches — else
+    ``spawn``; spawn requires ``repro`` to be importable from the
+    child, i.e. installed or on ``PYTHONPATH``).
+
+    Telemetry: pass a :class:`repro.obs.Collector` (or enable
+    :mod:`repro.obs` before construction) and every worker instruments
+    its stubs, collects spans locally, and ships them back at each
+    drain, where they are merged into :attr:`collector` with
+    backend-agnostic metrics rollups.
+    """
+
+    backend = "process"
+
+    def __init__(self, devices, strategy: str = "specialize",
+                 policy: str = "round-robin", workers: int = 2,
+                 queue_depth: int = 64, shadow_cache: bool = False,
+                 tracing: bool = False, trace_limit: int | None = None,
+                 op_latency_us: float = 0.0,
+                 word_latency_us: float = 0.0,
+                 weights: dict | None = None,
+                 collector=None,
+                 mp_context: str | None = None,
+                 sync_timeout: float = SYNC_TIMEOUT):
+        from .. import obs
+
+        if not devices:
+            raise ValueError("a fleet needs at least one device")
+        if workers < 1:
+            raise ValueError(f"need at least one worker (got {workers})")
+        if policy not in SCHEDULERS:
+            raise ValueError(
+                f"unknown policy {policy!r} "
+                f"(have: {', '.join(sorted(SCHEDULERS))})")
+        if policy not in DETERMINISTIC_POLICIES:
+            raise ValueError(
+                f"policy {policy!r} is not deterministic at submit "
+                f"time; the process backend requires one of: "
+                f"{', '.join(DETERMINISTIC_POLICIES)}")
+        self.strategy = strategy
+        self.policy = policy
+        self.workers = min(workers, len(devices))
+        self.submitted = 0
+        self._sync_timeout = sync_timeout
+        self._dirty = False
+        self._closed = False
+        self._failures: list[tuple[str, object, str]] = []
+        self._sync_ids = itertools.count(1)
+        self._reports: dict[int, dict] = {}
+
+        observe = collector is not None or obs.is_enabled()
+        self.collector = (collector or obs.Collector()) if observe \
+            else None
+
+        # Shard devices across workers; layout (labels, slots) is the
+        # global one, shared with the thread backend.
+        per_worker: list[list] = [[] for _ in range(self.workers)]
+        self.sessions: list[ProcessSession] = []
+        for index, (spec, label, slot) in \
+                enumerate(fleet_layout(devices)):
+            worker = index % self.workers
+            self.sessions.append(ProcessSession(
+                label=label, spec=spec, slot=slot, worker=worker,
+                local_index=len(per_worker[worker]),
+                weight=session_weight(weights, label, spec)))
+            per_worker[worker].append((spec, label, slot))
+        self.scheduler = SCHEDULERS[policy](self.sessions)
+
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(mp_context)
+        self.mp_context = mp_context
+        self._results = context.Queue()
+        self._queues = []
+        self._processes = []
+        for worker_id in range(self.workers):
+            config = _WorkerConfig(
+                worker_id=worker_id,
+                devices=tuple(per_worker[worker_id]),
+                strategy=strategy, shadow_cache=shadow_cache,
+                tracing=tracing, trace_limit=trace_limit,
+                op_latency_us=op_latency_us,
+                word_latency_us=word_latency_us,
+                observe=observe)
+            requests = context.Queue(maxsize=queue_depth)
+            process = context.Process(
+                target=_worker_main,
+                args=(config, requests, self._results),
+                name=f"pfleet-w{worker_id}", daemon=True)
+            process.start()
+            self._queues.append(requests)
+            self._processes.append(process)
+
+    # -- request flow ---------------------------------------------------
+
+    def submit(self, spec: str, request) -> None:
+        """Route one request and ship it to the owning worker process.
+
+        The session is picked *here*, in the caller's process, by the
+        deterministic policy — so placement is a pure function of
+        submission order, byte-for-byte the same function the thread
+        backend computes.  Blocks when the worker's queue is full
+        (backpressure, exactly like the thread pool's bounded queue).
+        """
+        if self._closed:
+            raise RuntimeError("fleet is shut down")
+        token = encode_request(request)
+        session = self.scheduler.acquire(spec)
+        self.scheduler.release(session)
+        self._queues[session.worker].put(
+            ("req", session.local_index, token))
+        session.assigned += 1
+        self.submitted += 1
+        self._dirty = True
+
+    def run(self, requests) -> int:
+        """Submit every ``(spec, request)`` pair, then drain."""
+        count = 0
+        for spec, request in requests:
+            self.submit(spec, request)
+            count += 1
+        self.drain()
+        return count
+
+    def drain(self) -> None:
+        """Quiesce every worker and merge its report; re-raise errors."""
+        if self._dirty or not self._reports:
+            self._collect_reports()
+        self._raise_failures()
+
+    def _collect_reports(self) -> None:
+        sync_id = next(self._sync_ids)
+        for requests in self._queues:
+            requests.put(("sync", sync_id))
+        pending = set(range(self.workers))
+        while pending:
+            try:
+                message = self._results.get(timeout=self._sync_timeout)
+            except queue_module.Empty:
+                dead = [f"pfleet-w{i}" for i in pending
+                        if not self._processes[i].is_alive()]
+                raise WorkerError([(
+                    ", ".join(dead) or f"pfleet ({len(pending)} pending)",
+                    RuntimeError(
+                        "worker process died or wedged before "
+                        "acknowledging sync"
+                        if dead else
+                        f"no sync report within {self._sync_timeout}s"),
+                    "")]) from None
+            kind = message[0]
+            if kind == "crash":
+                _, worker_id, formatted = message
+                pending.discard(worker_id)
+                self._failures.append(
+                    (f"pfleet-w{worker_id}",
+                     RuntimeError("worker process crashed"), formatted))
+                continue
+            _, worker_id, got_sync, report = message
+            if got_sync != sync_id:
+                continue  # stale report from an aborted earlier sync
+            pending.discard(worker_id)
+            self._reports[worker_id] = report
+            for failure in report["errors"]:
+                self._failures.append(failure)
+            if self.collector is not None and report["spans"]:
+                self.collector.ingest(report["spans"])
+        for session in self.sessions:
+            report = self._reports.get(session.worker)
+            if report is not None:
+                session.completed = \
+                    report["completed"].get(session.label, 0)
+        self._dirty = False
+        if self.collector is not None:
+            self.collector.record_trace_drops(
+                sum(report["trace_dropped"]
+                    for report in self._reports.values()))
+
+    def _raise_failures(self) -> None:
+        if self._failures:
+            failures, self._failures = self._failures, []
+            raise WorkerError(failures)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Drain, stop every worker process, and join them."""
+        if self._closed:
+            return
+        self._closed = True
+        sync_error = None
+        try:
+            if self._dirty or not self._reports:
+                self._collect_reports()
+        except WorkerError as error:
+            sync_error = error
+        for requests in self._queues:
+            try:
+                requests.put(("stop",))
+            except ValueError:  # queue already closed
+                pass
+        for process in self._processes:
+            process.join(timeout=self._sync_timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        if sync_error is not None:
+            raise sync_error
+        self._raise_failures()
+
+    def __enter__(self) -> "ProcessFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.shutdown()
+            return
+        # Error path: still stop the workers, but don't mask the
+        # propagating exception with queued-work failures.
+        try:
+            self.shutdown()
+        except WorkerError:
+            pass
+
+    # -- inspection (exact, post-drain) ---------------------------------
+
+    def _synced_reports(self) -> list[dict]:
+        if self._dirty or not self._reports:
+            self.drain()
+        return [self._reports[worker_id]
+                for worker_id in sorted(self._reports)]
+
+    @property
+    def accounting(self) -> IoAccounting:
+        """Exact merged totals across every worker's bus slice."""
+        total = IoAccounting()
+        for report in self._synced_reports():
+            total.add(report["accounting"])
+        return total
+
+    def accounting_by_device(self) -> dict:
+        """Label union of every worker's per-device shards (exact)."""
+        merged: dict = {}
+        for report in self._synced_reports():
+            for name, shard in report["by_device"].items():
+                if name in merged:
+                    merged[name].add(shard)
+                else:
+                    merged[name] = shard.snapshot()
+        return merged
+
+    def device_states(self) -> dict[str, bytes]:
+        """Byte-comparable per-mapping end-state across all workers."""
+        states: dict[str, bytes] = {}
+        for report in self._synced_reports():
+            states.update(report["states"])
+        return states
+
+    @property
+    def trace(self) -> list:
+        """Worker traces concatenated in worker order.
+
+        Per-device program order and block-group contiguity hold
+        within each worker's segment (each worker is single-threaded);
+        cross-worker interleaving is not meaningful and not modelled.
+        """
+        entries: list = []
+        for report in self._synced_reports():
+            entries.extend(report["trace"])
+        return entries
+
+    @property
+    def trace_dropped(self) -> int:
+        return sum(report["trace_dropped"]
+                   for report in self._synced_reports())
+
+    @property
+    def spans(self) -> list:
+        """Merged spans (requires a collector; empty list otherwise)."""
+        if self.collector is None:
+            return []
+        self._synced_reports()
+        return self.collector.spans
+
+    def completed(self) -> int:
+        self._synced_reports()
+        return sum(session.completed for session in self.sessions)
+
+    def completed_by_device(self) -> dict[str, int]:
+        self._synced_reports()
+        return {session.label: session.completed
+                for session in self.sessions}
+
+    def sessions_of(self, spec: str) -> list[ProcessSession]:
+        return [s for s in self.sessions if s.spec == spec]

@@ -25,7 +25,13 @@ _STOP = object()
 
 
 class WorkerError(RuntimeError):
-    """One or more pool workers raised; carries the formatted causes."""
+    """One or more fleet workers raised; carries the formatted causes.
+
+    Shared by both backends: thread-pool failures carry the live
+    exception object, process-backend failures (which crossed a pickle
+    boundary) carry its ``repr`` string — either way ``failures`` is a
+    list of ``(worker name, exception-or-repr, formatted traceback)``.
+    """
 
     def __init__(self, failures: list[tuple[str, BaseException, str]]):
         self.failures = failures

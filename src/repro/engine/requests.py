@@ -17,9 +17,26 @@ The mix mirrors a small machine under real load:
 * :func:`ne2000_ring_poll` — the NE2000 receive-ring service loop's
   idle branch: read ISR bits, boundary, current page.  Read-heavy,
   shortest; volatile registers defeat the shadow cache, as they must.
+* :func:`ide_sector_checksum` — the CPU-bound outlier: one sector read
+  followed by a pure-Python rolling checksum over the data.  Threads
+  serialize it on the GIL; the process backend is what makes it scale.
+
+Request codec
+-------------
+
+The process backend ships requests to worker processes by *reference*,
+not by value: :func:`encode_request` turns a module-level request
+callable into a ``"package.module:qualname"`` token and
+:func:`decode_request` resolves it back on the other side.  Encoding
+validates eagerly in the submitting process — a lambda, closure or
+instance method fails at ``submit`` time with a clear error instead of
+poisoning a worker — and guarantees the token round-trips to the
+*same* function object, so both backends execute identical code.
 """
 
 from __future__ import annotations
+
+import importlib
 
 
 def ide_sector_read(stubs, aux):
@@ -84,9 +101,92 @@ def ne2000_ring_poll(stubs, aux):
     return received, errored, overwrite, boundary, current
 
 
+#: Pure-Python work factor of :func:`ide_sector_checksum`; chosen so
+#: one request costs a few milliseconds of GIL-holding compute —
+#: enough to dwarf the IPC cost of shipping the request to a process.
+CHECKSUM_ROUNDS = 80
+
+
+def ide_sector_checksum(stubs, aux):
+    """Read one sector, then checksum it in pure Python (CPU-bound).
+
+    The bus traffic is identical to :func:`ide_sector_read`; the
+    checksum loop after it holds the GIL for its whole duration, so a
+    thread fleet cannot overlap two of these no matter how many
+    workers it has.  This is the request the multiprocessing backend
+    exists for.
+    """
+    data = ide_sector_read(stubs, aux)
+    accumulator = 0
+    for _ in range(CHECKSUM_ROUNDS):
+        for word in data:
+            accumulator = (accumulator * 31 + word) & 0xFFFFFFFF
+    return accumulator
+
+
 #: The benchmark's mixed fleet: ``spec -> request``.
 MIXED_REQUESTS = {
     "ide": ide_sector_read,
     "permedia2": pm2_fill_rect,
     "ne2000": ne2000_ring_poll,
 }
+
+#: The CPU-bound mix: every request is GIL-dominated compute.
+CPU_REQUESTS = {
+    "ide": ide_sector_checksum,
+}
+
+
+# ---------------------------------------------------------------------------
+# Picklable request codec (the process backend's wire format)
+# ---------------------------------------------------------------------------
+
+
+def encode_request(request) -> str:
+    """``module-level callable -> "package.module:qualname"`` token.
+
+    Raises :class:`ValueError` for anything that cannot be resolved by
+    import on the worker side: lambdas, nested functions, bound
+    methods, functools partials.  The check round-trips through
+    :func:`decode_request`, so a token that encodes is guaranteed to
+    decode to the identical function object in any process that can
+    import this package.
+    """
+    module = getattr(request, "__module__", None)
+    qualname = getattr(request, "__qualname__", None)
+    if not module or not qualname:
+        raise ValueError(
+            f"request {request!r} is not a named module-level "
+            f"callable and cannot be shipped to a worker process")
+    if "<locals>" in qualname or "<lambda>" in qualname:
+        raise ValueError(
+            f"request {qualname!r} is a lambda or nested function; "
+            f"the process backend needs a module-level callable "
+            f"(define it at the top of a module, like the requests in "
+            f"repro.engine.requests)")
+    token = f"{module}:{qualname}"
+    resolved = decode_request(token)
+    if resolved is not request:
+        raise ValueError(
+            f"request token {token!r} resolves to {resolved!r}, not "
+            f"the submitted callable — submit the module-level "
+            f"function itself, not a wrapper")
+    return token
+
+
+def decode_request(token: str):
+    """Inverse of :func:`encode_request` (importing as needed)."""
+    module_name, _, qualname = token.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"malformed request token {token!r}")
+    try:
+        target = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except (ImportError, AttributeError) as exc:
+        raise ValueError(
+            f"request token {token!r} does not resolve: {exc}") from exc
+    if not callable(target):
+        raise ValueError(f"request token {token!r} names "
+                         f"non-callable {target!r}")
+    return target

@@ -1,20 +1,33 @@
 """Dispatch policies: which device of a fleet serves the next request.
 
 A request names a *spec* ("ide", "permedia2", ...), not a device; the
-scheduler picks one of the fleet's sessions for that spec.  Two
+scheduler picks one of the fleet's sessions for that spec.  Three
 policies ship:
 
 ``round-robin``
     Rotate through the spec's sessions in order.  Deterministic and
     cheap; under uniform request cost it is also optimal.
 
+``weighted-round-robin``
+    Smooth weighted rotation (the nginx algorithm): each session
+    carries an integer ``weight`` and receives that fraction of the
+    spec's requests, interleaved as evenly as possible (weights 3:1:1
+    yield A A B A C, not A A A B C).  Like plain round-robin the pick
+    is a pure function of submission order — independent of worker
+    timing — so weighted fleets stay pinnable in the golden gate and
+    usable by the process backend.
+
 ``least-loaded``
     Pick the session with the fewest requests currently queued or
     executing.  Better when request costs are skewed (a 256-word IDE
     sector read next to a 3-op ring poll): slow devices stop absorbing
-    their fair share of new work while idle devices starve.
+    their fair share of new work while idle devices starve.  The price
+    is determinism: the pick depends on when earlier requests finish,
+    so it is excluded from golden pinning and from the process backend.
 
-Both policies keep their bookkeeping (rotation cursor, outstanding
+Policies in :data:`DETERMINISTIC_POLICIES` guarantee that the request →
+device assignment depends only on submission order.  All policies keep
+their bookkeeping (rotation cursor, smooth-WRR credit, outstanding
 counters) under one small scheduler lock.  The lock is held only for
 the pick itself — never while a request executes — so it is not a
 serialization point for device I/O.
@@ -68,6 +81,47 @@ class RoundRobinScheduler(Scheduler):
         return sessions[index]
 
 
+class WeightedRoundRobinScheduler(Scheduler):
+    """Smooth weighted round-robin over each spec's sessions.
+
+    Classic smooth-WRR: every pick adds each candidate's weight to its
+    credit, chooses the highest credit (ties break by mapping order —
+    ``max`` keeps the first maximum), then debits the chosen session by
+    the spec's total weight.  With equal weights this degenerates to
+    plain round-robin; with skewed weights the schedule interleaves
+    (3:1 gives A A B A, never A A A B).  Session weights come from the
+    ``weight`` attribute (default 1, see :class:`~.fleet.DeviceSession`
+    and ``Fleet(weights=...)``).
+    """
+
+    def __init__(self, sessions):
+        super().__init__(sessions)
+        self._credit = {id(s): 0 for spec_sessions
+                        in self._by_spec.values()
+                        for s in spec_sessions}
+        self._totals = {
+            spec: sum(self._weight(s) for s in spec_sessions)
+            for spec, spec_sessions in self._by_spec.items()}
+        for spec, total in self._totals.items():
+            if total < 1:
+                raise ValueError(
+                    f"spec {spec!r} has non-positive total weight {total}")
+
+    @staticmethod
+    def _weight(session) -> int:
+        return getattr(session, "weight", 1)
+
+    def acquire(self, spec: str):
+        sessions = self._candidates(spec)
+        with self._lock:
+            credit = self._credit
+            for session in sessions:
+                credit[id(session)] += self._weight(session)
+            chosen = max(sessions, key=lambda s: credit[id(s)])
+            credit[id(chosen)] -= self._totals[spec]
+        return chosen
+
+
 class LeastLoadedScheduler(Scheduler):
     """Pick the session with the fewest outstanding requests.
 
@@ -98,5 +152,11 @@ class LeastLoadedScheduler(Scheduler):
 #: name -> class, for the CLI and the benchmark harness.
 SCHEDULERS = {
     "round-robin": RoundRobinScheduler,
+    "weighted-round-robin": WeightedRoundRobinScheduler,
     "least-loaded": LeastLoadedScheduler,
 }
+
+#: Policies whose request → device assignment is a pure function of
+#: submission order.  Only these are pinnable in the golden gate and
+#: usable by the process backend (which must shard at submit time).
+DETERMINISTIC_POLICIES = ("round-robin", "weighted-round-robin")

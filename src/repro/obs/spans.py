@@ -302,6 +302,29 @@ class Collector:
             metrics.counter("reg.words", device=owner_device,
                             register=register).inc(event.count)
 
+    # -- cross-process export ---------------------------------------------
+
+    def ingest(self, spans) -> None:
+        """Merge spans exported from another collector (or process).
+
+        The span-export half of the process fleet's merge step: worker
+        processes collect spans with their own collectors, ship them
+        back as plain pickled :class:`Span` objects, and the parent
+        ingests them here.  Each span is renumbered into this
+        collector's sequence (in the order given — callers pass worker
+        batches in the worker's completion order) and rolled up into
+        the metrics registry exactly as if it had completed locally, so
+        ``dev.calls``/``var.*``/``reg.*`` totals are backend-agnostic.
+        Timestamps are left untouched; they are worker-process clocks
+        and remain comparable only within one worker.
+        """
+        buffer = self._buffer()
+        with self._lock:
+            for span in spans:
+                span.seq = next(self._seq)
+                buffer.spans.append(span)
+                self._roll_up(span)
+
     # -- convenience ------------------------------------------------------
 
     def clear(self) -> None:

@@ -32,6 +32,8 @@ from repro.engine import (
 from repro.obs.workloads import STRATEGIES, WORKLOADS, build_machine
 from repro.specs import SPEC_NAMES
 
+pytestmark = pytest.mark.concurrency
+
 
 class _Scratch:
     """A trivial mapped device: a byte per port, no side effects."""
@@ -222,6 +224,7 @@ def test_fleet_three_strategy_state_parity():
     assert fingerprints["interpret"] == fingerprints["generated"]
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_single_device_eight_thread_stress(strategy):
     """ISSUE acceptance: 8 threads against ONE device, 100 consecutive

@@ -1,0 +1,315 @@
+"""Cross-process parity harness: the process backend is indistinguishable.
+
+The multiprocessing fleet's correctness claim mirrors PR 4's thread
+claim, one substrate deeper: for the same submission sequence, the
+process backend must produce — not approximately, *byte for byte* —
+
+* the same device end-state (pickled per-mapping snapshots via the
+  :meth:`repro.bus.Bus.state_snapshot` seam),
+* the same exact per-device accounting shards,
+* the same span signatures (strategy- and timing-independent span
+  identity), and
+* the same per-device port-operation traces
+
+as the serial single-worker reference and the thread backend, for
+every shipped specification.  Placement is deterministic at submit
+time in all three, which is what makes request-for-request comparison
+a valid test at all.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.bus import Bus, iter_operations
+from repro.engine import (
+    SLOT_STRIDE,
+    Fleet,
+    ProcessFleet,
+    WorkerError,
+    decode_request,
+    encode_request,
+    fleet_layout,
+    ide_sector_checksum,
+    ide_sector_read,
+    mixed_schedule,
+)
+from repro.obs.workloads import WORKLOADS, build_machine
+from repro.specs import SPEC_NAMES
+
+pytestmark = pytest.mark.concurrency
+
+
+def _run_backend(backend: str, devices, schedule, **fleet_kwargs):
+    """One observed fleet run; returns the full parity evidence."""
+    collector = obs.Collector()
+    with obs.observe(collector=collector):
+        if backend == "process":
+            fleet = ProcessFleet(devices, workers=2, tracing=True,
+                                 collector=collector, **fleet_kwargs)
+        else:
+            workers = 1 if backend == "serial" else 4
+            fleet = Fleet(devices, workers=workers, tracing=True,
+                          **fleet_kwargs)
+            fleet.bus.collector = collector
+        with fleet:
+            fleet.run(schedule)
+            evidence = {
+                "states": fleet.device_states(),
+                "by_device": fleet.accounting_by_device(),
+                "accounting": fleet.accounting
+                if backend == "process"
+                else fleet.accounting.snapshot(),
+                "completed": fleet.completed_by_device(),
+                "trace": list(fleet.trace)
+                if backend == "process" else list(fleet.bus.trace),
+                "signatures": sorted(collector.signatures(), key=repr),
+            }
+        if backend != "process":
+            fleet.bus.collector = None
+    return evidence
+
+
+def _device_trace(trace, slot):
+    """The trace entries of the device occupying ``slot``."""
+    return [entry for entry in trace
+            if slot <= entry.port < slot + SLOT_STRIDE]
+
+
+# ---------------------------------------------------------------------------
+# The parity suite: every shipped spec, serial vs thread vs process
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec", SPEC_NAMES)
+def test_backend_parity_per_spec(spec):
+    """Serial, thread-fleet and process-fleet runs of the shipped
+    workload are byte-identical in end-state, accounting, spans and
+    per-device traces."""
+    devices = [spec, spec]
+    schedule = [(spec, WORKLOADS[spec])] * 6
+    serial = _run_backend("serial", devices, schedule)
+    threaded = _run_backend("thread", devices, schedule)
+    process = _run_backend("process", devices, schedule)
+
+    for backend, evidence in (("thread", threaded),
+                              ("process", process)):
+        assert evidence["completed"] == serial["completed"], backend
+        assert evidence["by_device"] == serial["by_device"], backend
+        assert evidence["accounting"] == serial["accounting"], backend
+        # Byte-equal end-state, mapping by mapping.
+        assert sorted(evidence["states"]) == sorted(serial["states"])
+        for name, blob in serial["states"].items():
+            assert evidence["states"][name] == blob, \
+                f"{backend}: end-state of {name!r} diverged for {spec}"
+        assert evidence["signatures"] == serial["signatures"], \
+            f"{backend}: span signatures diverged for {spec}"
+        # Per-device port-op streams, in device program order.
+        for _, label, slot in fleet_layout(devices):
+            assert _device_trace(evidence["trace"], slot) == \
+                _device_trace(serial["trace"], slot), \
+                f"{backend}: trace of {label} diverged for {spec}"
+
+
+def test_backend_parity_mixed_fleet_with_txn_and_cpu_requests():
+    """A mixed fleet under a request mix spanning plain, transactional
+    and CPU-bound requests stays exact across all three backends."""
+    from repro.engine import ide_sector_read_txn
+
+    devices = ["ide", "ide", "permedia2", "ne2000"]
+    schedule = []
+    for _ in range(4):
+        schedule += [("ide", ide_sector_read),
+                     ("ide", ide_sector_read_txn),
+                     ("ide", ide_sector_checksum),
+                     ("permedia2", WORKLOADS["permedia2"]),
+                     ("ne2000", WORKLOADS["ne2000"])]
+    serial = _run_backend("serial", devices, schedule,
+                          shadow_cache=True)
+    threaded = _run_backend("thread", devices, schedule,
+                            shadow_cache=True)
+    process = _run_backend("process", devices, schedule,
+                           shadow_cache=True)
+    assert threaded["states"] == serial["states"]
+    assert process["states"] == serial["states"]
+    assert threaded["by_device"] == serial["by_device"]
+    assert process["by_device"] == serial["by_device"]
+    assert process["signatures"] == serial["signatures"]
+    # Runtime-level effects crossed the process boundary exactly: the
+    # transactional writes coalesced in the workers, and the merged
+    # accounting agrees field for field (the mix's registers are all
+    # volatile, so elisions are exactly zero on every backend).
+    assert process["accounting"] == serial["accounting"]
+    assert process["accounting"].coalesced_writes > 0
+
+
+@pytest.mark.parametrize("strategy", ("interpret", "generated"))
+def test_process_backend_strategy_parity(strategy):
+    """The process backend is exact under the non-default execution
+    strategies too (the specializer is covered by the suite above)."""
+    devices = ["ide", "ide"]
+    schedule = [("ide", ide_sector_read)] * 6
+    serial = _run_backend("serial", devices, schedule,
+                          strategy=strategy)
+    process = _run_backend("process", devices, schedule,
+                           strategy=strategy)
+    assert process["states"] == serial["states"]
+    assert process["by_device"] == serial["by_device"]
+    assert process["signatures"] == serial["signatures"]
+
+
+def test_process_backend_block_groups_stay_contiguous():
+    """Block transfers keep their per-word trace entries adjacent in
+    each worker's exported ring (``iter_operations`` must regroup)."""
+    devices = ["ide", "ide", "ide"]
+    schedule = [("ide", ide_sector_read)] * 9
+    process = _run_backend("process", devices, schedule)
+    operations = list(iter_operations(process["trace"]))
+    blocks = [op for op in operations if op[0].op in ("rb", "wb")]
+    assert blocks, "sector reads must produce block operations"
+    for group in blocks:
+        assert len(group) == group[0].count
+        assert len({entry.port for entry in group}) == 1
+
+
+# ---------------------------------------------------------------------------
+# The bus snapshot/restore seam
+# ---------------------------------------------------------------------------
+
+
+def test_bus_state_snapshot_detects_single_bit_difference():
+    bus_a, aux_a, _ = build_machine("ide", tracing=False)
+    bus_b, aux_b, _ = build_machine("ide", tracing=False)
+    assert bus_a.state_snapshot() == bus_b.state_snapshot()
+    aux_b["disk"].store[0] ^= 0x01
+    assert bus_a.state_snapshot() != bus_b.state_snapshot()
+
+
+def test_bus_state_blob_roundtrip_preserves_aliasing():
+    """restore_state swaps device state and keeps shared models shared
+    (the NE2000 model sits behind three mappings)."""
+    bus, aux, bases = build_machine("ne2000", tracing=False)
+    aux["nic"].ram[0:4] = b"\x11\x22\x33\x44"
+    blob = bus.state_blob()
+    snapshot = bus.state_snapshot()
+
+    fresh, _, _ = build_machine("ne2000", tracing=False)
+    assert fresh.state_snapshot() != snapshot
+    fresh.restore_state(blob)
+    assert fresh.state_snapshot() == snapshot
+    # The data port still aliases the restored model: a write through
+    # one mapping is visible through the other.
+    restored_nic = fresh._mappings[0].device
+    data_port = fresh._mappings[1].device
+    assert data_port.nic is restored_nic
+
+
+def test_bus_restore_state_rejects_mismatched_topology():
+    bus, _, _ = build_machine("ide", tracing=False)
+    other, _, _ = build_machine("ne2000", tracing=False)
+    from repro.bus import BusError
+    with pytest.raises(BusError):
+        bus.restore_state(other.state_blob())
+
+
+def test_plain_bus_exposes_the_snapshot_seam():
+    """The seam lives on the base Bus, not just the thread-safe one."""
+    bus = Bus()
+    assert bus.state_snapshot() == {}
+    assert pickle.loads(bus.state_blob()) == []
+
+
+# ---------------------------------------------------------------------------
+# The request codec
+# ---------------------------------------------------------------------------
+
+
+def test_request_codec_roundtrips_shipped_requests():
+    for request in (ide_sector_read, ide_sector_checksum,
+                    WORKLOADS["busmouse"]):
+        token = encode_request(request)
+        assert decode_request(token) is request
+
+
+def test_request_codec_rejects_unshippable_callables():
+    with pytest.raises(ValueError):
+        encode_request(lambda stubs, aux: None)
+
+    def nested(stubs, aux):
+        return None
+
+    with pytest.raises(ValueError):
+        encode_request(nested)
+    with pytest.raises(ValueError):
+        decode_request("repro.engine.requests:does_not_exist")
+    with pytest.raises(ValueError):
+        decode_request("no-colon-here")
+
+
+def test_process_fleet_rejects_unshippable_requests_at_submit():
+    with ProcessFleet(["ide"], workers=1) as fleet:
+        with pytest.raises(ValueError):
+            fleet.submit("ide", lambda stubs, aux: None)
+        fleet.submit("ide", ide_sector_read)
+        fleet.drain()
+        assert fleet.completed() == 1
+
+
+# ---------------------------------------------------------------------------
+# Process-backend semantics
+# ---------------------------------------------------------------------------
+
+
+def test_process_fleet_requires_deterministic_policy():
+    with pytest.raises(ValueError, match="deterministic"):
+        ProcessFleet(["ide", "ide"], policy="least-loaded")
+    with pytest.raises(ValueError):
+        ProcessFleet(["ide"], policy="psychic")
+
+
+def test_process_fleet_propagates_request_errors():
+    with pytest.raises(WorkerError) as info:
+        with ProcessFleet(["ide"], workers=1) as fleet:
+            fleet.submit("ide", _exploding_request)
+            fleet.drain()
+    assert "request exploded in the worker" in str(info.value)
+
+
+def test_process_fleet_weighted_placement_matches_thread_backend():
+    weights = {"ide0": 3, "ide1": 1}
+    schedule = [("ide", ide_sector_read)] * 8
+    with Fleet(["ide", "ide"], workers=2,
+               policy="weighted-round-robin", weights=weights) as fleet:
+        fleet.run(schedule)
+        thread_counts = fleet.completed_by_device()
+    with ProcessFleet(["ide", "ide"], workers=2,
+                      policy="weighted-round-robin",
+                      weights=weights) as fleet:
+        fleet.run(schedule)
+        process_counts = fleet.completed_by_device()
+    assert thread_counts == process_counts == {"ide0": 6, "ide1": 2}
+
+
+def test_process_fleet_accounting_exact_across_worker_counts():
+    """The mixed schedule lands identical merged totals at 1, 2 and 3
+    processes — sharding must not change what reaches the wire."""
+    schedule = mixed_schedule(4)
+    devices = ["ide", "permedia2", "ne2000"]
+    reference = None
+    for workers in (1, 2, 3):
+        with ProcessFleet(devices, workers=workers) as fleet:
+            fleet.run(schedule)
+            accounting = fleet.accounting
+            states = fleet.device_states()
+        if reference is None:
+            reference = (accounting, states)
+        else:
+            assert accounting == reference[0], f"{workers} workers"
+            assert states == reference[1], f"{workers} workers"
+
+
+def _exploding_request(stubs, aux):
+    raise RuntimeError("request exploded in the worker")
