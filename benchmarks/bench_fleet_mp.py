@@ -1,10 +1,13 @@
-"""Thread fleet vs process fleet on a CPU-bound request mix.
+"""Thread fleet vs process fleet: CPU-bound and sleeping-I/O legs.
 
-The measurement the multiprocessing backend exists for.  The request
-is :func:`repro.engine.ide_sector_checksum` — one IDE sector read
-followed by a pure-Python rolling checksum that holds the GIL for its
-whole duration (~2 ms).  Against that mix the two backends must
-diverge in a very specific way:
+The measurement the multiprocessing backend exists for — and, since
+the IPC-tax work, the measurement that justifies its transport.  Two
+legs:
+
+**CPU leg** — the request is :func:`repro.engine.ide_sector_checksum`:
+one IDE sector read followed by a pure-Python rolling checksum that
+holds the GIL for its whole duration (~2 ms).  Against that mix the
+two backends must diverge in a very specific way:
 
 * the **thread** backend cannot scale: every checksum serializes on
   the GIL, so 4 workers deliver essentially the single-worker rate.
@@ -15,27 +18,38 @@ diverge in a very specific way:
 * the **process** backend shards devices across worker processes, each
   with its own interpreter and GIL, so the checksums genuinely overlap
   on a multi-core machine.  The benchmark enforces a *floor*: process
-  speedup at 4 workers must reach ``PROCESS_CPU_FLOOR`` (2.0x).  The
-  floor is a statement about cores — on a machine with fewer than 4
-  CPUs it is physically unsatisfiable (four processes cannot out-run
-  one core's worth of arithmetic), so it is enforced when
-  ``os.cpu_count() >= 4`` (every CI runner) and recorded as skipped,
-  with the cpu count, otherwise.
+  speedup at 4 workers must reach ``PROCESS_CPU_FLOOR`` (2.0x),
+  enforced when ``os.cpu_count() >= 4`` and recorded as skipped, with
+  the measurement, otherwise.
 
-A sleeping-I/O leg rides along for contrast: under GIL-releasing port
-latency the thread backend scales near-linearly while the process
-backend pays IPC per request — the two legs together are the
-backend-selection guide in ``docs/CONCURRENCY.md``, measured.
+**I/O leg** — the mixed fleet under GIL-releasing port latency, in
+four columns: the thread backend, the process backend on its original
+transport (``batch=1``, no result ring — the PR-5 baseline, kept
+measurable on purpose), and the batched transport at ``batch=8`` and
+``batch=auto`` with shared-memory result rings.  Floors:
+
+* batched process throughput at 4 workers must reach
+  ``IO_BATCH_GAIN`` (2x) of the unbatched PR-5 transport measured in
+  the *same run* — the IPC tax must actually be gone;
+* batched process throughput at 4 workers must meet or beat the
+  thread backend (``>= IO_PROCESS_VS_THREAD`` of it).
+
+Both I/O floors are enforced on machines with at least 4 CPUs (every
+CI runner); on smaller machines 4 worker processes time-slice one
+core and the ratios are measurement noise, so they are recorded as
+skips with the measured values, never silently dropped.
 
 Exactness is enforced unconditionally on both legs: merged accounting
-and byte-identical per-device end-state across every backend and
-worker count.  A scheduling or merge bug fails this benchmark even on
-a single-core machine where the throughput floor is waived.
+and byte-identical per-device end-state across every backend, worker
+count, and batch size.  A scheduling, batching or ring-merge bug
+fails this benchmark even on a single-core machine where the
+throughput floors are waived.
 
 Runs standalone (``python benchmarks/bench_fleet_mp.py [--quick]``,
 the CI concurrency-job step) and under pytest via
 :func:`test_fleet_mp_bench_quick`.  Results land in
-``results/BENCH_fleet_mp.{txt,json}``.
+``results/BENCH_fleet_mp.{txt,json}`` with the host environment
+recorded alongside (a 1-CPU container's numbers are labeled as such).
 """
 
 from __future__ import annotations
@@ -73,6 +87,17 @@ THREAD_CPU_CEILING = 1.2
 PROCESS_CPU_FLOOR = 2.0
 PROCESS_FLOOR_MIN_CPUS = 4
 
+#: Batched process transport must reach this multiple of the
+#: unbatched (PR-5) transport on the I/O leg at 4 workers — the
+#: IPC-tax claim itself, machine-independent.
+IO_BATCH_GAIN = 2.0
+
+#: Batched process throughput must reach this fraction of the thread
+#: backend on the I/O leg at 4 workers (>= 1.0 means "meets or
+#: beats"; enforced on machines with >= IO_FLOOR_MIN_CPUS CPUs).
+IO_PROCESS_VS_THREAD = 1.0
+IO_FLOOR_MIN_CPUS = 4
+
 WORKER_COUNTS = (1, 2, 4)
 
 #: CPU leg: four disks, every request a GIL-holding checksum.
@@ -83,20 +108,40 @@ IO_FLEET = ["ide"] * 4 + ["permedia2"] * 4 + ["ne2000"] * 4
 IO_LATENCY_US = 20.0
 IO_WORD_LATENCY_US = 0.2
 
+#: CPU-leg columns: thread vs the default process transport.
+CPU_VARIANTS = (
+    ("thread", "thread", {}),
+    ("process", "process", {}),
+)
+
+#: I/O-leg columns: ``proc/b=1`` pins the pre-batching transport
+#: (one queue message per request, per-request token resolution,
+#: reports on the reply queue) as the in-run baseline the batched
+#: columns are measured against.
+IO_VARIANTS = (
+    ("thread", "thread", {}),
+    ("proc/b=1", "process",
+     {"batch_size": 1, "ring_bytes": 0, "codec_cache": False}),
+    ("proc/b=8", "process", {"batch_size": 8}),
+    ("proc/auto", "process", {"batch_size": "auto"}),
+)
+
 
 def _build(backend: str, devices, workers: int,
-           latency_us: float = 0.0, word_latency_us: float = 0.0):
+           latency_us: float = 0.0, word_latency_us: float = 0.0,
+           **fleet_kwargs):
     cls = ProcessFleet if backend == "process" else Fleet
     return cls(devices, workers=workers, policy="round-robin",
                op_latency_us=latency_us,
-               word_latency_us=word_latency_us)
+               word_latency_us=word_latency_us, **fleet_kwargs)
 
 
 def run_once(backend: str, devices, workers: int, schedule,
-             latency_us: float = 0.0, word_latency_us: float = 0.0):
+             latency_us: float = 0.0, word_latency_us: float = 0.0,
+             **fleet_kwargs):
     """One timed run; returns (req/s, accounting, device states)."""
     with _build(backend, devices, workers, latency_us,
-                word_latency_us) as fleet:
+                word_latency_us, **fleet_kwargs) as fleet:
         start = time.perf_counter()
         fleet.run(schedule)
         elapsed = time.perf_counter() - start
@@ -108,30 +153,30 @@ def run_once(backend: str, devices, workers: int, schedule,
     return len(schedule) / elapsed, accounting, states
 
 
-def scaling_leg(devices, schedule, latency_us: float = 0.0,
+def scaling_leg(variants, devices, schedule, latency_us: float = 0.0,
                 word_latency_us: float = 0.0):
-    """Both backends at every worker count, with exactness checks.
+    """Every variant at every worker count, with exactness checks.
 
-    Speedups are relative to each backend's own single-worker run, so
-    they isolate scaling from the (constant) IPC overhead of the
-    process backend.  Every run must land identical accounting and
-    byte-identical device end-state — backend and worker count may
+    Speedups are relative to each variant's own single-worker run, so
+    they isolate scaling from the (constant) per-transport overhead.
+    Every run must land identical accounting and byte-identical
+    device end-state — backend, worker count and batch size may
     change *when* work happens, never *what* reaches the wire.
     """
     rows = []
     reference = None
-    for backend in ("thread", "process"):
+    for label, backend, fleet_kwargs in variants:
         base_rate = None
         for workers in WORKER_COUNTS:
             rate, accounting, states = run_once(
                 backend, devices, workers, schedule,
-                latency_us, word_latency_us)
+                latency_us, word_latency_us, **fleet_kwargs)
             if reference is None:
                 reference = (accounting, states)
             else:
                 if accounting != reference[0]:
                     raise AssertionError(
-                        f"accounting diverged ({backend}, {workers} "
+                        f"accounting diverged ({label}, {workers} "
                         f"workers):\n  reference: {reference[0]}\n"
                         f"  this run : {accounting}")
                 if states != reference[1]:
@@ -139,23 +184,30 @@ def scaling_leg(devices, schedule, latency_us: float = 0.0,
                         name for name in reference[1]
                         if states.get(name) != reference[1][name])
                     raise AssertionError(
-                        f"device end-state diverged ({backend}, "
+                        f"device end-state diverged ({label}, "
                         f"{workers} workers): {diverged}")
             if base_rate is None:
                 base_rate = rate
-            rows.append({"backend": backend, "workers": workers,
-                         "rps": rate, "speedup": rate / base_rate})
+            rows.append({"label": label, "backend": backend,
+                         "workers": workers, "rps": rate,
+                         "speedup": rate / base_rate})
     return rows, reference[0]
 
 
-def _row(rows, backend: str, workers: int) -> dict:
+def _row(rows, label: str, workers: int) -> dict:
     return next(row for row in rows
-                if row["backend"] == backend
+                if row["label"] == label
                 and row["workers"] == workers)
 
 
-def check_floors(cpu_rows, cpu_count: int):
-    """(verdicts, ok) for the CPU leg's ceiling and floor."""
+def check_floors(cpu_rows, io_rows, cpu_count: int,
+                 quick: bool = False):
+    """(verdicts, ok) for both legs' ceilings and floors.
+
+    ``quick`` waives the I/O ratio floors: the smoke schedules are
+    dominated by worker startup, so their ratios measure amortization
+    of a constant, not the transport.  The full run enforces them.
+    """
     verdicts = []
     ok = True
 
@@ -190,18 +242,69 @@ def check_floors(cpu_rows, cpu_count: int):
             f"FAIL: process backend reached only "
             f"{process4['speedup']:.2f}x at 4 workers (floor "
             f"{PROCESS_CPU_FLOOR}x on a {cpu_count}-CPU machine)")
+
+    unbatched4 = _row(io_rows, "proc/b=1", 4)
+    batched4 = _row(io_rows, "proc/b=8", 4)
+    gain = batched4["rps"] / unbatched4["rps"]
+    if quick:
+        verdicts.append(
+            f"SKIP: batch-gain floor waived on --quick (schedule too "
+            f"small for a stable ratio; measured {gain:.2f}x)")
+    elif cpu_count < IO_FLOOR_MIN_CPUS:
+        verdicts.append(
+            f"SKIP: batch-gain floor ({IO_BATCH_GAIN}x over the "
+            f"unbatched transport at 4 workers) needs >= "
+            f"{IO_FLOOR_MIN_CPUS} CPUs for a stable measurement; "
+            f"this machine has {cpu_count} (measured {gain:.2f}x)")
+    elif gain >= IO_BATCH_GAIN:
+        verdicts.append(
+            f"OK: batching killed the IPC tax on the I/O leg "
+            f"({gain:.2f}x over the unbatched transport at 4 "
+            f"workers, floor {IO_BATCH_GAIN}x)")
+    else:
+        ok = False
+        verdicts.append(
+            f"FAIL: batched process transport reached only "
+            f"{gain:.2f}x of the unbatched baseline at 4 workers "
+            f"(floor {IO_BATCH_GAIN}x on a {cpu_count}-CPU "
+            f"machine) — the IPC tax is back")
+
+    io_thread4 = _row(io_rows, "thread", 4)
+    ratio = batched4["rps"] / io_thread4["rps"]
+    if quick:
+        verdicts.append(
+            f"SKIP: process-vs-thread I/O floor waived on --quick "
+            f"(measured {ratio:.2f}x)")
+    elif cpu_count < IO_FLOOR_MIN_CPUS:
+        verdicts.append(
+            f"SKIP: process-vs-thread I/O floor "
+            f"(>= {IO_PROCESS_VS_THREAD:.1f}x of threads at 4 "
+            f"workers) needs >= {IO_FLOOR_MIN_CPUS} CPUs; this "
+            f"machine has {cpu_count} (measured {ratio:.2f}x)")
+    elif ratio >= IO_PROCESS_VS_THREAD:
+        verdicts.append(
+            f"OK: batched process backend meets the thread backend "
+            f"on the I/O leg ({ratio:.2f}x of thread throughput at "
+            f"4 workers, floor {IO_PROCESS_VS_THREAD:.1f}x)")
+    else:
+        ok = False
+        verdicts.append(
+            f"FAIL: batched process backend reached only "
+            f"{ratio:.2f}x of thread throughput on the I/O leg at 4 "
+            f"workers (floor {IO_PROCESS_VS_THREAD:.1f}x on a "
+            f"{cpu_count}-CPU machine)")
     return verdicts, ok
 
 
 def render(cpu_rows, io_rows, verdicts, cpu_schedule_len,
            io_schedule_len, cpu_count: int) -> str:
     def table(rows):
-        lines = [f"{'backend':>8} | {'workers':>7} | {'req/s':>10} | "
+        lines = [f"{'variant':>10} | {'workers':>7} | {'req/s':>10} | "
                  f"{'speedup':>8}",
-                 "-" * 44]
+                 "-" * 46]
         for row in rows:
             lines.append(
-                f"{row['backend']:>8} | {row['workers']:>7} | "
+                f"{row['label']:>10} | {row['workers']:>7} | "
                 f"{row['rps']:>10.1f} | {row['speedup']:>7.2f}x")
         return lines
 
@@ -211,20 +314,21 @@ def render(cpu_rows, io_rows, verdicts, cpu_schedule_len,
         "",
         f"CPU-bound leg: 4x IDE, {cpu_schedule_len} x "
         f"ide_sector_checksum (GIL-holding; speedup vs each "
-        f"backend's own 1-worker run)",
+        f"variant's own 1-worker run)",
     ]
     lines += table(cpu_rows)
     lines += [
         "",
         f"Sleeping-I/O leg: mixed fleet, {io_schedule_len} requests, "
         f"{IO_LATENCY_US:.0f}us/op + {IO_WORD_LATENCY_US:.1f}us/word "
-        f"(GIL-releasing; threads overlap stalls in-process, the "
-        f"process backend pays IPC per request)",
+        f"(GIL-releasing; proc/b=1 is the pre-batching transport, "
+        f"proc/b=8 and proc/auto batch placements and return results "
+        f"through shared-memory rings)",
     ]
     lines += table(io_rows)
     lines += ["",
               "exactness: merged accounting and per-device end-state "
-              "byte-identical across every backend and worker count",
+              "byte-identical across every variant and worker count",
               ""]
     lines += verdicts
     return "\n".join(lines)
@@ -243,14 +347,16 @@ def main(argv=None) -> int:
     io_schedule = mixed_schedule(4 if args.quick else 16)
     cpu_count = os.cpu_count() or 1
 
-    cpu_rows, _ = scaling_leg(CPU_FLEET, cpu_schedule)
-    io_rows, _ = scaling_leg(IO_FLEET, io_schedule,
+    cpu_rows, _ = scaling_leg(CPU_VARIANTS, CPU_FLEET, cpu_schedule)
+    io_rows, _ = scaling_leg(IO_VARIANTS, IO_FLEET, io_schedule,
                              IO_LATENCY_US, IO_WORD_LATENCY_US)
-    verdicts, ok = check_floors(cpu_rows, cpu_count)
+    verdicts, ok = check_floors(cpu_rows, io_rows, cpu_count,
+                                quick=args.quick)
 
     table = render(cpu_rows, io_rows, verdicts, len(cpu_schedule),
                    len(io_schedule), cpu_count)
     record("BENCH_fleet_mp", table, data={
+        "quick": args.quick,
         "cpu_count": cpu_count,
         "cpu_leg": {"devices": CPU_FLEET,
                     "requests": len(cpu_schedule),
@@ -266,6 +372,10 @@ def main(argv=None) -> int:
             "process_floor_min_cpus": PROCESS_FLOOR_MIN_CPUS,
             "process_floor_enforced":
                 cpu_count >= PROCESS_FLOOR_MIN_CPUS,
+            "io_batch_gain": IO_BATCH_GAIN,
+            "io_process_vs_thread": IO_PROCESS_VS_THREAD,
+            "io_floor_min_cpus": IO_FLOOR_MIN_CPUS,
+            "io_floor_enforced": cpu_count >= IO_FLOOR_MIN_CPUS,
         },
         "verdicts": verdicts,
     })
@@ -279,18 +389,19 @@ def main(argv=None) -> int:
 def test_fleet_mp_bench_quick():
     """Pytest entry: tiny schedules, exactness only.
 
-    The throughput ceiling/floor are waived here (wall-clock floors
+    The throughput ceilings/floors are waived here (wall-clock floors
     are flaky under a loaded test runner) and enforced by the
     standalone run in the CI concurrency job instead.  Exactness —
-    the part that catches merge and scheduling bugs — still asserts.
+    the part that catches merge, batching and ring bugs — still
+    asserts across every variant.
     """
     cpu_rows, accounting = scaling_leg(
-        CPU_FLEET, [("ide", ide_sector_checksum)] * 6)
+        CPU_VARIANTS, CPU_FLEET, [("ide", ide_sector_checksum)] * 6)
     assert accounting.total_ops > 0
-    assert len(cpu_rows) == 2 * len(WORKER_COUNTS)
-    io_rows, _ = scaling_leg(IO_FLEET, mixed_schedule(2),
+    assert len(cpu_rows) == len(CPU_VARIANTS) * len(WORKER_COUNTS)
+    io_rows, _ = scaling_leg(IO_VARIANTS, IO_FLEET, mixed_schedule(2),
                              IO_LATENCY_US, IO_WORD_LATENCY_US)
-    assert len(io_rows) == 2 * len(WORKER_COUNTS)
+    assert len(io_rows) == len(IO_VARIANTS) * len(WORKER_COUNTS)
 
 
 if __name__ == "__main__":

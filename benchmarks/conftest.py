@@ -11,21 +11,42 @@ generators) does not have to parse the human-oriented text.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import sys
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def environment() -> dict:
+    """The machine context a benchmark number is meaningless without.
+
+    Recorded into every ``results/BENCH_*.json`` so a reader can tell
+    a 1-CPU CI container's scaling numbers from a real machine's —
+    the fleet benchmarks' speedups are functions of ``cpu_count``.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+    }
 
 
 def record(name: str, content: str, data: object = None) -> None:
     """Print a reproduced table and persist it under results/.
 
     ``results/<name>.txt`` holds the rendered table; ``<name>.json``
-    holds ``{"name", "text"}`` plus the optional structured ``data``
-    payload (plain dicts/lists/numbers) when the caller provides one.
+    holds ``{"name", "text", "environment"}`` plus the optional
+    structured ``data`` payload (plain dicts/lists/numbers) when the
+    caller provides one.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
-    payload: dict[str, object] = {"name": name, "text": content}
+    payload: dict[str, object] = {"name": name, "text": content,
+                                  "environment": environment()}
     if data is not None:
         payload["data"] = data
     (RESULTS_DIR / f"{name}.json").write_text(

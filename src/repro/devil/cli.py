@@ -127,13 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "permedia2:2 ne2000:2); every spec needs "
                             "a shipped workload")
     fleet.add_argument("--backend", default="thread",
-                       choices=("thread", "process"),
+                       choices=("thread", "process", "auto"),
                        help="execution substrate: worker threads on "
-                            "one shared bus, or worker processes each "
-                            "owning a shard of the fleet (default: "
-                            "thread)")
+                            "one shared bus, worker processes each "
+                            "owning a shard of the fleet, or 'auto' "
+                            "to calibrate the request mix and pick "
+                            "(default: thread)")
     fleet.add_argument("--workers", type=int, default=4,
                        help="worker threads or processes (default: 4)")
+    fleet.add_argument("--batch-size", default=None,
+                       metavar="N|auto",
+                       help="process backend: group N consecutive "
+                            "placements per worker into one IPC "
+                            "message ('auto' picks a default; "
+                            "default: 1, no batching)")
     fleet.add_argument("--requests", type=int, default=32,
                        help="requests per device spec (default: 32)")
     fleet.add_argument("--policy", default="round-robin",
@@ -295,31 +302,54 @@ def _run_fleet(arguments) -> int:
     specs = sorted(set(devices))
     requests = {spec: MIXED_REQUESTS.get(spec, WORKLOADS[spec])
                 for spec in specs}
+    schedule = [(spec, requests[spec])
+                for _ in range(arguments.requests) for spec in specs]
 
-    fleet_cls = ProcessFleet if arguments.backend == "process" \
-        else Fleet
+    batch_size = arguments.batch_size
+    if batch_size is not None and batch_size != "auto":
+        try:
+            batch_size = int(batch_size)
+        except ValueError:
+            print(f"bad --batch-size {batch_size!r} "
+                  f"(want an integer or 'auto')", file=sys.stderr)
+            return 1
+    common = dict(strategy=arguments.strategy,
+                  policy=arguments.policy,
+                  workers=arguments.workers,
+                  shadow_cache=arguments.shadow_cache,
+                  op_latency_us=arguments.latency_us,
+                  word_latency_us=arguments.word_latency_us)
     try:
-        fleet = fleet_cls(
-            devices, strategy=arguments.strategy,
-            policy=arguments.policy, workers=arguments.workers,
-            shadow_cache=arguments.shadow_cache,
-            op_latency_us=arguments.latency_us,
-            word_latency_us=arguments.word_latency_us)
+        if arguments.backend == "auto":
+            fleet = Fleet.auto(devices, schedule, **common)
+            choice = fleet.choice
+            batch_note = f", batch={choice.batch_size}" \
+                if choice.backend == "process" else ""
+            print(f"auto: picked the {choice.backend} backend"
+                  f"{batch_note} — {choice.reason}")
+        elif arguments.backend == "process":
+            fleet = ProcessFleet(
+                devices, batch_size=batch_size or 1, **common)
+        else:
+            if batch_size not in (None, 1):
+                print("--batch-size only applies to the process "
+                      "backend", file=sys.stderr)
+                return 1
+            fleet = Fleet(devices, **common)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 1
     with fleet:
         start = time.perf_counter()
-        for _ in range(arguments.requests):
-            for spec in specs:
-                fleet.submit(spec, requests[spec])
+        for spec, request in schedule:
+            fleet.submit(spec, request)
         fleet.drain()
         elapsed = time.perf_counter() - start
         total = fleet.completed()
         accounting = fleet.accounting
         print(f"fleet: {len(devices)} devices "
               f"({', '.join(arguments.devices)}), "
-              f"{arguments.workers} {arguments.backend} workers, "
+              f"{arguments.workers} {fleet.backend} workers, "
               f"{arguments.policy}, {arguments.strategy}")
         print(f"  {total} requests in {elapsed * 1e3:.1f} ms "
               f"({total / elapsed:.0f} req/s)")

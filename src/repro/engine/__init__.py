@@ -11,6 +11,12 @@ Two execution substrates under one request API:
   across worker processes, each owning its devices' complete Devil
   runtime on a private bus slice — it scales CPU-bound mixes the GIL
   serializes, and merges accounting, traces and spans back exactly.
+  Request batching and per-worker shared-memory result rings
+  (:mod:`repro.engine.shm`) keep IPC off the per-request path.
+
+:func:`Fleet.auto` / :func:`auto_fleet` pick between the two by
+measuring a short calibration burst of the actual request mix
+(:mod:`repro.engine.select`).
 
 Placement under the deterministic policies is a pure function of
 submission order in both backends, which is what makes them
@@ -31,7 +37,7 @@ from .fleet import (
     map_fleet_device,
     session_weight,
 )
-from .mp import ProcessFleet, ProcessSession
+from .mp import DEFAULT_AUTO_BATCH, ProcessFleet, ProcessSession
 from .pool import WorkerError, WorkerPool
 from .requests import (
     CPU_REQUESTS,
@@ -40,9 +46,11 @@ from .requests import (
     encode_request,
     ide_sector_checksum,
     ide_sector_read,
+    ide_sector_read_lba,
     ide_sector_read_txn,
     ne2000_ring_poll,
     pm2_fill_rect,
+    request_label,
 )
 from .scheduler import (
     DETERMINISTIC_POLICIES,
@@ -52,7 +60,17 @@ from .scheduler import (
     Scheduler,
     WeightedRoundRobinScheduler,
 )
+from .select import (
+    BackendChoice,
+    KindProfile,
+    auto_fleet,
+    batch_size_for,
+    calibrate,
+    decide,
+)
+from .shm import DEFAULT_RING_BYTES, MIN_RING_BYTES, ShmRing
 from .stress import (
+    STRESS_BACKENDS,
     fingerprint,
     fleet_fingerprint,
     mixed_schedule,
@@ -77,9 +95,22 @@ __all__ = [
     "encode_request",
     "ide_sector_checksum",
     "ide_sector_read",
+    "ide_sector_read_lba",
     "ide_sector_read_txn",
     "ne2000_ring_poll",
     "pm2_fill_rect",
+    "request_label",
+    "BackendChoice",
+    "KindProfile",
+    "auto_fleet",
+    "batch_size_for",
+    "calibrate",
+    "decide",
+    "DEFAULT_AUTO_BATCH",
+    "DEFAULT_RING_BYTES",
+    "MIN_RING_BYTES",
+    "ShmRing",
+    "STRESS_BACKENDS",
     "DETERMINISTIC_POLICIES",
     "SCHEDULERS",
     "LeastLoadedScheduler",

@@ -314,6 +314,35 @@ class Fleet:
         self.pool.submit(work)
         self.submitted += 1
 
+    def submit_batch(self, requests) -> int:
+        """Submit every ``(spec, request)`` pair; returns the count.
+
+        API parity with the process backend's batched submit: threads
+        share an address space, so there is no transport to batch and
+        this is exactly N :meth:`submit` calls — same placement, same
+        backpressure.
+        """
+        count = 0
+        for spec, request in requests:
+            self.submit(spec, request)
+            count += 1
+        return count
+
+    @staticmethod
+    def auto(devices, schedule, *, workers: int = 4,
+             cpu_count: int | None = None, **fleet_kwargs):
+        """Measure ``schedule`` and build whichever backend wins.
+
+        Delegates to :func:`repro.engine.select.auto_fleet`: a short
+        calibration burst profiles the request mix (CPU vs sleeping
+        I/O), and the verdict — thread fleet, or process fleet with a
+        computed batch size — comes back as ``fleet.choice``.
+        """
+        from .select import auto_fleet
+
+        return auto_fleet(devices, schedule, workers=workers,
+                          cpu_count=cpu_count, **fleet_kwargs)
+
     def run(self, requests) -> int:
         """Submit every ``(spec, request)`` pair, then drain the pool."""
         count = 0

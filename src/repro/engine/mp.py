@@ -9,8 +9,22 @@ worker owns its devices' complete Devil runtime — a private bus slice
 with only its devices mapped (at their global slots), bound stubs,
 shadow caches, transaction contexts, span collector — so the hot path
 crosses no process boundary and takes no cross-process lock at all.
-The only IPC is one queue message per request in and one report per
-sync out.
+
+IPC is kept off the per-request path twice over:
+
+* **Request batching** — ``submit`` buffers placements per worker and
+  ships up to ``batch_size`` of them in one queue message (flushed on
+  the size watermark, a small time watermark, and unconditionally at
+  every sync point); :meth:`submit_batch` groups a whole iterable in
+  one pass.  Placement still happens at submit time in the parent, so
+  batching changes the *transport*, never the schedule.
+* **Shared-memory result rings** — each worker appends span batches
+  and its sync reports (accounting shards, per-device completion
+  counts, device states, trace payloads) to a per-worker
+  :class:`~repro.engine.shm.ShmRing`; the parent drains the ring
+  exactly at sync points and the reply queue carries only a small
+  completion record (an offset, error summaries).  A full ring spills
+  to the queue, so exactness never depends on ring capacity.
 
 Design rules (the same exactness contract the thread fleet obeys, see
 ``docs/CONCURRENCY.md``):
@@ -26,12 +40,15 @@ Design rules (the same exactness contract the thread fleet obeys, see
   fleet; only :data:`~repro.engine.scheduler.DETERMINISTIC_POLICIES`
   are allowed (``least-loaded`` needs completion feedback that would
   reintroduce timing dependence).  Each worker executes its stream in
-  FIFO order, so per-device request order equals submission order.
+  FIFO order — batched or not — so per-device request order equals
+  submission order.
 * **Requests travel by reference.**  ``submit`` encodes the request
   callable with :func:`~repro.engine.requests.encode_request` — a
-  validated ``module:qualname`` token — so both backends execute the
-  identical function object and unpicklable callables fail loudly in
-  the submitting process.
+  validated ``module:qualname`` token, or a partial-application token
+  whose bound arguments travel by value — so both backends execute
+  the identical function and unpicklable callables fail loudly in the
+  submitting process.  Tokens and their worker-side resolutions are
+  memoized, so a hot request pays the validation round-trip once.
 * **Merging is exact.**  At every sync the workers report absolute
   per-device accounting shards, pickled device end-state
   (:meth:`repro.bus.Bus.state_snapshot`), their trace rings (block
@@ -53,8 +70,9 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import queue as queue_module
+import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..bus import IoAccounting
 from .fleet import LatencyBus, fleet_layout, map_fleet_device, \
@@ -62,11 +80,28 @@ from .fleet import LatencyBus, fleet_layout, map_fleet_device, \
 from .pool import WorkerError
 from .requests import decode_request, encode_request
 from .scheduler import DETERMINISTIC_POLICIES, SCHEDULERS
+from .shm import DEFAULT_RING_BYTES, MIN_RING_BYTES, ShmRing, \
+    attach_ring_memory, create_ring_memory
 
 #: Default seconds to wait for one worker's sync report before
 #: declaring it wedged (each report is one queue message; a healthy
 #: worker answers as soon as it reaches the sync marker).
 SYNC_TIMEOUT = 120.0
+
+#: ``batch_size="auto"`` without a calibrated workload profile: big
+#: enough to amortize a queue round-trip to a few percent of a typical
+#: shipped request, small enough to keep sync latency low.  The
+#: adaptive selector (:mod:`repro.engine.select`) computes a measured
+#: value instead when given a workload.
+DEFAULT_AUTO_BATCH = 8
+
+#: Default flush watermark for a partially filled batch, microseconds.
+#: A buffered placement never waits longer than this behind later
+#: submissions (it is always flushed at sync points regardless).
+DEFAULT_FLUSH_US = 500.0
+
+#: Cap on the parent-side token memo (distinct request callables).
+_TOKEN_CACHE_LIMIT = 1024
 
 
 @dataclass(frozen=True)
@@ -84,6 +119,11 @@ class _WorkerConfig:
     word_latency_us: float
     #: Instrument stubs and collect spans in the worker.
     observe: bool
+    #: Shared-memory result ring name (None: reports ride the queue).
+    ring_name: str | None = None
+    #: Memoize token -> callable resolutions (off reproduces the
+    #: original per-request decode, for benchmark baselines).
+    codec_cache: bool = True
 
 
 @dataclass
@@ -134,15 +174,23 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
     Protocol (all messages tuples, first element the kind):
 
     * ``("req", local_index, token)`` — decode and execute.
+    * ``("batch", ((local_index, token), ...))`` — execute the whole
+      group in order: one IPC message, N requests.
     * ``("sync", sync_id)`` — reply ``("report", worker_id, sync_id,
-      report)`` on ``results``; queue FIFO guarantees every earlier
-      request is finished, so the report is a quiesced snapshot.
+      payload)`` on ``results``; queue FIFO guarantees every earlier
+      request is finished, so the report is a quiesced snapshot.  With
+      a result ring the bulk report travels through shared memory and
+      ``payload`` carries only the ring offset, spilled records and
+      error summaries.
+    * ``("ack", offset)`` — the parent drained the ring up to
+      ``offset``; that space is reclaimable.
     * ``("stop",)`` — exit the loop.
 
     A failure *outside* request execution (a corrupt message, a bus
     mapping bug) is reported as ``("crash", worker_id, traceback)`` so
     the parent fails fast instead of timing out.
     """
+    ring = None
     try:
         from .. import obs
 
@@ -153,6 +201,8 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
         bus = _build_worker_bus(config)
         if collector is not None:
             bus.collector = collector
+        if config.ring_name is not None:
+            ring = ShmRing(attach_ring_memory(config.ring_name))
 
         from ..obs.workloads import bind_stubs
 
@@ -170,16 +220,75 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
 
         name = f"pfleet-w{config.worker_id}"
         errors: list[tuple[str, str, str]] = []
+        #: Records that did not fit the ring since the last sync; once
+        #: one spills, everything after it spills too, so the parent
+        #: replays ring records then spilled records in true order.
+        spilled: list = []
+        #: Worker-side resolution memo: token -> callable.
+        resolutions: dict = {}
+
+        def resolve(token):
+            if not config.codec_cache:
+                return decode_request(token)
+            try:
+                request = resolutions.get(token)
+            except TypeError:  # unhashable token (never produced today)
+                return decode_request(token)
+            if request is None:
+                request = decode_request(token)
+                resolutions[token] = request
+            return request
+
+        def execute(local_index, token) -> None:
+            label, stubs, aux = sessions[local_index]
+            try:
+                resolve(token)(stubs, aux)
+                completed[label] += 1
+            except BaseException as exc:  # noqa: BLE001 - at drain
+                errors.append((f"{name}/{label}", repr(exc),
+                               traceback.format_exc()))
+
+        def ship(record) -> None:
+            """Ring if possible, in-order spill to the queue if not."""
+            if ring is None or spilled or not ring.put(record):
+                spilled.append(record)
+
+        def flush_spans() -> None:
+            if collector is None or ring is None:
+                return
+            spans = collector.spans
+            if spans:
+                collector.clear()
+                ship(("spans", spans))
+
         while True:
             message = requests.get()
             kind = message[0]
+            if kind == "req":
+                execute(message[1], message[2])
+                flush_spans()
+                continue
+            if kind == "batch":
+                for local_index, token in message[1]:
+                    execute(local_index, token)
+                flush_spans()
+                continue
+            if kind == "ack":
+                if ring is not None:
+                    ring.ack(message[1])
+                continue
             if kind == "stop":
                 return
             if kind == "sync":
-                spans = collector.spans if collector is not None else []
-                if collector is not None:
-                    collector.clear()
-                report = {
+                if ring is not None:
+                    flush_spans()
+                    spans = []
+                else:
+                    spans = collector.spans \
+                        if collector is not None else []
+                    if collector is not None:
+                        collector.clear()
+                bulk = {
                     "completed": dict(completed),
                     "accounting": bus.accounting,
                     "by_device": bus.accounting_by_device(),
@@ -187,24 +296,27 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
                     "trace": list(bus.trace),
                     "trace_dropped": bus.trace_dropped,
                     "spans": spans,
-                    "errors": list(errors),
                 }
-                errors = []
+                payload = {"errors": list(errors), "report": None,
+                           "ring_end": None, "spilled": ()}
+                errors.clear()
+                if ring is not None:
+                    ship(("sync_report", message[1], bulk))
+                    payload["ring_end"] = ring.written
+                    payload["spilled"] = tuple(spilled)
+                    spilled.clear()
+                else:
+                    payload["report"] = bulk
                 results.put(("report", config.worker_id,
-                             message[1], report))
+                             message[1], payload))
                 continue
-            _, local_index, token = message
-            label, stubs, aux = sessions[local_index]
-            try:
-                request = decode_request(token)
-                request(stubs, aux)
-                completed[label] += 1
-            except BaseException as exc:  # noqa: BLE001 - reported at drain
-                errors.append((f"{name}/{label}", repr(exc),
-                               traceback.format_exc()))
+            raise RuntimeError(f"unknown fleet message kind {kind!r}")
     except BaseException:  # noqa: BLE001 - the parent re-raises
         results.put(("crash", config.worker_id,
                      traceback.format_exc()))
+    finally:
+        if ring is not None:
+            ring.close()
 
 
 class ProcessFleet:
@@ -212,10 +324,11 @@ class ProcessFleet:
 
     Drop-in for :class:`~repro.engine.fleet.Fleet` for every
     inspection surface the exactness harnesses use — ``submit``,
-    ``run``, ``drain``, ``accounting``, ``accounting_by_device()``,
-    ``device_states()``, ``completed()``, context management — with
-    requests restricted to picklable module-level callables and the
-    policy restricted to the deterministic schedulers.
+    ``submit_batch``, ``run``, ``drain``, ``accounting``,
+    ``accounting_by_device()``, ``device_states()``, ``completed()``,
+    context management — with requests restricted to picklable
+    module-level callables (or partials over them) and the policy
+    restricted to the deterministic schedulers.
 
     ``workers`` is the number of *processes* (clamped to the device
     count: a device is owned by exactly one process).  ``mp_context``
@@ -224,11 +337,19 @@ class ProcessFleet:
     ``spawn``; spawn requires ``repro`` to be importable from the
     child, i.e. installed or on ``PYTHONPATH``).
 
+    ``batch_size`` groups that many consecutive placements per worker
+    into one IPC message (``1`` restores one-message-per-request;
+    ``"auto"`` picks :data:`DEFAULT_AUTO_BATCH`); ``flush_us`` bounds
+    how long a partial batch may sit buffered behind later traffic.
+    ``ring_bytes`` sizes the per-worker shared-memory result ring
+    (``0`` disables it and reports ride the reply queue, the pre-ring
+    transport).
+
     Telemetry: pass a :class:`repro.obs.Collector` (or enable
     :mod:`repro.obs` before construction) and every worker instruments
-    its stubs, collects spans locally, and ships them back at each
-    drain, where they are merged into :attr:`collector` with
-    backend-agnostic metrics rollups.
+    its stubs, collects spans locally, and ships them back through the
+    result ring as they complete, where they are merged into
+    :attr:`collector` with backend-agnostic metrics rollups.
     """
 
     backend = "process"
@@ -242,7 +363,11 @@ class ProcessFleet:
                  weights: dict | None = None,
                  collector=None,
                  mp_context: str | None = None,
-                 sync_timeout: float = SYNC_TIMEOUT):
+                 sync_timeout: float = SYNC_TIMEOUT,
+                 batch_size: int | str = 1,
+                 flush_us: float = DEFAULT_FLUSH_US,
+                 ring_bytes: int = DEFAULT_RING_BYTES,
+                 codec_cache: bool = True):
         from .. import obs
 
         if not devices:
@@ -258,9 +383,22 @@ class ProcessFleet:
                 f"policy {policy!r} is not deterministic at submit "
                 f"time; the process backend requires one of: "
                 f"{', '.join(DETERMINISTIC_POLICIES)}")
+        if batch_size == "auto":
+            batch_size = DEFAULT_AUTO_BATCH
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ValueError(
+                f"batch_size must be a positive integer or 'auto', "
+                f"got {batch_size!r}")
+        if flush_us <= 0:
+            raise ValueError(f"flush_us must be positive, got {flush_us}")
+        if ring_bytes < 0:
+            raise ValueError(
+                f"ring_bytes must be non-negative, got {ring_bytes}")
         self.strategy = strategy
         self.policy = policy
         self.workers = min(workers, len(devices))
+        self.batch_size = batch_size
+        self.flush_us = flush_us
         self.submitted = 0
         self._sync_timeout = sync_timeout
         self._dirty = False
@@ -268,6 +406,8 @@ class ProcessFleet:
         self._failures: list[tuple[str, object, str]] = []
         self._sync_ids = itertools.count(1)
         self._reports: dict[int, dict] = {}
+        self._codec_cache = codec_cache
+        self._tokens: dict = {}
 
         observe = collector is not None or obs.is_enabled()
         self.collector = (collector or obs.Collector()) if observe \
@@ -295,6 +435,15 @@ class ProcessFleet:
         self._results = context.Queue()
         self._queues = []
         self._processes = []
+        self._rings: list[ShmRing] | None = None
+        if ring_bytes:
+            self._rings = [
+                ShmRing(create_ring_memory(
+                    max(ring_bytes, MIN_RING_BYTES)))
+                for _ in range(self.workers)]
+        self._pending: list[list] = [[] for _ in range(self.workers)]
+        self._pending_since: list[float | None] = \
+            [None] * self.workers
         for worker_id in range(self.workers):
             config = _WorkerConfig(
                 worker_id=worker_id,
@@ -303,7 +452,10 @@ class ProcessFleet:
                 tracing=tracing, trace_limit=trace_limit,
                 op_latency_us=op_latency_us,
                 word_latency_us=word_latency_us,
-                observe=observe)
+                observe=observe,
+                ring_name=self._rings[worker_id].memory.name
+                if self._rings is not None else None,
+                codec_cache=codec_cache)
             requests = context.Queue(maxsize=queue_depth)
             process = context.Process(
                 target=_worker_main,
@@ -315,25 +467,92 @@ class ProcessFleet:
 
     # -- request flow ---------------------------------------------------
 
+    def _encode(self, request):
+        if not self._codec_cache:
+            return encode_request(request)
+        token = self._tokens.get(request)
+        if token is None:
+            token = encode_request(request)
+            if len(self._tokens) >= _TOKEN_CACHE_LIMIT:
+                self._tokens.clear()
+            self._tokens[request] = token
+        return token
+
+    def _place(self, spec: str, request) -> ProcessSession:
+        """Route one request (deterministic, in the caller's process)
+        and buffer its placement for the owning worker."""
+        token = self._encode(request)
+        session = self.scheduler.acquire(spec)
+        self.scheduler.release(session)
+        self._pending[session.worker].append(
+            (session.local_index, token))
+        session.assigned += 1
+        self.submitted += 1
+        self._dirty = True
+        return session
+
+    def _flush_worker(self, worker: int) -> None:
+        pending = self._pending[worker]
+        if not pending:
+            return
+        if len(pending) == 1:
+            local_index, token = pending[0]
+            self._queues[worker].put(("req", local_index, token))
+        else:
+            self._queues[worker].put(("batch", tuple(pending)))
+        pending.clear()
+        self._pending_since[worker] = None
+
+    def _flush_pending(self) -> None:
+        for worker in range(self.workers):
+            self._flush_worker(worker)
+
     def submit(self, spec: str, request) -> None:
         """Route one request and ship it to the owning worker process.
 
         The session is picked *here*, in the caller's process, by the
         deterministic policy — so placement is a pure function of
         submission order, byte-for-byte the same function the thread
-        backend computes.  Blocks when the worker's queue is full
-        (backpressure, exactly like the thread pool's bounded queue).
+        backend computes.  With ``batch_size > 1`` the placement is
+        buffered and shipped once the worker's batch fills, the
+        ``flush_us`` watermark expires, or a sync point arrives —
+        transport only; per-device execution order is still submission
+        order.  Blocks when the worker's queue is full (backpressure,
+        exactly like the thread pool's bounded queue).
         """
         if self._closed:
             raise RuntimeError("fleet is shut down")
-        token = encode_request(request)
-        session = self.scheduler.acquire(spec)
-        self.scheduler.release(session)
-        self._queues[session.worker].put(
-            ("req", session.local_index, token))
-        session.assigned += 1
-        self.submitted += 1
-        self._dirty = True
+        session = self._place(spec, request)
+        worker = session.worker
+        if self.batch_size <= 1:
+            self._flush_worker(worker)
+            return
+        now = time.monotonic()
+        if self._pending_since[worker] is None:
+            self._pending_since[worker] = now
+        if len(self._pending[worker]) >= self.batch_size:
+            self._flush_worker(worker)
+        deadline = self.flush_us * 1e-6
+        for other in range(self.workers):
+            since = self._pending_since[other]
+            if since is not None and now - since >= deadline:
+                self._flush_worker(other)
+
+    def submit_batch(self, requests) -> int:
+        """Submit every ``(spec, request)`` pair, batched per worker.
+
+        Placement runs per request in submission order (identical to
+        N ``submit`` calls); transport is one IPC message per worker
+        shard regardless of ``batch_size``.  Returns the count.
+        """
+        if self._closed:
+            raise RuntimeError("fleet is shut down")
+        count = 0
+        for spec, request in requests:
+            self._place(spec, request)
+            count += 1
+        self._flush_pending()
+        return count
 
     def run(self, requests) -> int:
         """Submit every ``(spec, request)`` pair, then drain."""
@@ -350,7 +569,32 @@ class ProcessFleet:
             self._collect_reports()
         self._raise_failures()
 
+    def _absorb_ring(self, worker_id: int, sync_id: int,
+                     payload: dict):
+        """Drain one worker's result ring (plus spilled records) and
+        return its sync report for ``sync_id`` (None when stale).
+
+        Ring records and spilled records replay in production order —
+        the worker stops ringing the moment one record spills.  Span
+        batches are ingested as encountered, so their completion order
+        is preserved; the ring space is acknowledged immediately.
+        """
+        ring = self._rings[worker_id]
+        records = ring.read_to(payload["ring_end"])
+        records.extend(payload["spilled"])
+        bulk = None
+        for record in records:
+            kind = record[0]
+            if kind == "spans":
+                if self.collector is not None:
+                    self.collector.ingest(record[1])
+            elif kind == "sync_report" and record[1] == sync_id:
+                bulk = record[2]
+        self._queues[worker_id].put(("ack", ring.consumed))
+        return bulk
+
     def _collect_reports(self) -> None:
+        self._flush_pending()
         sync_id = next(self._sync_ids)
         for requests in self._queues:
             requests.put(("sync", sync_id))
@@ -377,12 +621,17 @@ class ProcessFleet:
                     (f"pfleet-w{worker_id}",
                      RuntimeError("worker process crashed"), formatted))
                 continue
-            _, worker_id, got_sync, report = message
-            if got_sync != sync_id:
+            _, worker_id, got_sync, payload = message
+            if self._rings is not None \
+                    and payload.get("ring_end") is not None:
+                report = self._absorb_ring(worker_id, got_sync, payload)
+            else:
+                report = payload["report"]
+            if got_sync != sync_id or report is None:
                 continue  # stale report from an aborted earlier sync
             pending.discard(worker_id)
             self._reports[worker_id] = report
-            for failure in report["errors"]:
+            for failure in payload["errors"]:
                 self._failures.append(failure)
             if self.collector is not None and report["spans"]:
                 self.collector.ingest(report["spans"])
@@ -425,6 +674,11 @@ class ProcessFleet:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5)
+        if self._rings is not None:
+            for ring in self._rings:
+                ring.close()
+                ring.unlink()
+            self._rings = None
         if sync_error is not None:
             raise sync_error
         self._raise_failures()

@@ -27,16 +27,22 @@ Request codec
 The process backend ships requests to worker processes by *reference*,
 not by value: :func:`encode_request` turns a module-level request
 callable into a ``"package.module:qualname"`` token and
-:func:`decode_request` resolves it back on the other side.  Encoding
-validates eagerly in the submitting process — a lambda, closure or
-instance method fails at ``submit`` time with a clear error instead of
-poisoning a worker — and guarantees the token round-trips to the
-*same* function object, so both backends execute identical code.
+:func:`decode_request` resolves it back on the other side.
+:class:`functools.partial` over a module-level callable is also
+accepted — the base function travels by reference, the bound
+arguments by value (they must pickle).  Encoding validates eagerly in
+the submitting process — a lambda, closure, instance method or a
+partial with unpicklable arguments fails at ``submit`` time with a
+clear error instead of poisoning a worker — and guarantees the token
+round-trips to the *same* function object (an equivalent partial), so
+both backends execute identical code.
 """
 
 from __future__ import annotations
 
+import functools
 import importlib
+import pickle
 
 
 def ide_sector_read(stubs, aux):
@@ -101,6 +107,25 @@ def ne2000_ring_poll(stubs, aux):
     return received, errored, overwrite, boundary, current
 
 
+def ide_sector_read_lba(stubs, aux, lba=2):
+    """A parameterized 1-sector read: ``functools.partial`` over this
+    callable ships to worker processes (see :func:`encode_request`)."""
+    stubs.set_irq_disabled(True)
+    stubs.set_lba_mode(True)
+    stubs.set_drive("MASTER")
+    stubs.set_head(0)
+    stubs.set_sector_count(1)
+    stubs.set_lba_low(lba)
+    stubs.set_lba_mid(0)
+    stubs.set_lba_high(0)
+    stubs.set_command("READ_SECTORS")
+    if stubs.get_ide_err():
+        raise RuntimeError("IDE device reported an error")
+    data = stubs.read_ide_data_block(256)
+    stubs.get_alt_status()
+    return data
+
+
 #: Pure-Python work factor of :func:`ide_sector_checksum`; chosen so
 #: one request costs a few milliseconds of GIL-holding compute —
 #: enough to dwarf the IPC cost of shipping the request to a process.
@@ -142,16 +167,23 @@ CPU_REQUESTS = {
 # ---------------------------------------------------------------------------
 
 
-def encode_request(request) -> str:
+def encode_request(request):
     """``module-level callable -> "package.module:qualname"`` token.
 
-    Raises :class:`ValueError` for anything that cannot be resolved by
-    import on the worker side: lambdas, nested functions, bound
-    methods, functools partials.  The check round-trips through
-    :func:`decode_request`, so a token that encodes is guaranteed to
-    decode to the identical function object in any process that can
-    import this package.
+    A :class:`functools.partial` over a module-level callable encodes
+    as ``("partial", base_token, pickled (args, kwargs))`` — the bound
+    arguments travel by value, so they must pickle; anything else
+    (unpicklable arguments, a lambda under the partial) fails *here*,
+    in the submitting process, with a clear error instead of poisoning
+    a worker.  Both forms round-trip through :func:`decode_request` at
+    encode time, so a token that encodes is guaranteed to decode to an
+    equivalent callable in any process that can import this package.
+    Raises :class:`ValueError` for anything else that cannot be
+    resolved by import on the worker side: lambdas, nested functions,
+    bound methods.
     """
+    if isinstance(request, functools.partial):
+        return _encode_partial(request)
     module = getattr(request, "__module__", None)
     qualname = getattr(request, "__qualname__", None)
     if not module or not qualname:
@@ -174,8 +206,51 @@ def encode_request(request) -> str:
     return token
 
 
-def decode_request(token: str):
+def _encode_partial(request: functools.partial):
+    """``("partial", base_token, args_blob)`` for a partial request.
+
+    ``functools.partial`` flattens nested partials at construction, so
+    ``request.func`` is always the base callable — which must itself
+    encode (i.e. be module-level).
+    """
+    base_token = encode_request(request.func)
+    if not isinstance(base_token, str):  # a partial of a partial object
+        raise ValueError(
+            f"request {request!r} wraps a non-function callable; "
+            f"ship functools.partial over a module-level function")
+    try:
+        args_blob = pickle.dumps(
+            (request.args, dict(request.keywords)), protocol=4)
+    except Exception as exc:
+        raise ValueError(
+            f"functools.partial arguments for "
+            f"{base_token!r} are not picklable and cannot be shipped "
+            f"to a worker process: {exc!r}") from exc
+    token = ("partial", base_token, args_blob)
+    resolved = decode_request(token)
+    if resolved.func is not request.func \
+            or resolved.args != request.args \
+            or resolved.keywords != dict(request.keywords):
+        raise ValueError(
+            f"partial token for {base_token!r} did not round-trip; "
+            f"bound arguments must pickle to equal values")
+    return token
+
+
+def decode_request(token):
     """Inverse of :func:`encode_request` (importing as needed)."""
+    if isinstance(token, tuple):
+        if len(token) != 3 or token[0] != "partial":
+            raise ValueError(f"malformed request token {token!r}")
+        _, base_token, args_blob = token
+        base = decode_request(base_token)
+        try:
+            args, kwargs = pickle.loads(args_blob)
+        except Exception as exc:
+            raise ValueError(
+                f"partial token for {base_token!r} carries an "
+                f"unreadable argument payload: {exc!r}") from exc
+        return functools.partial(base, *args, **kwargs)
     module_name, _, qualname = token.partition(":")
     if not module_name or not qualname:
         raise ValueError(f"malformed request token {token!r}")
@@ -190,3 +265,13 @@ def decode_request(token: str):
         raise ValueError(f"request token {token!r} names "
                          f"non-callable {target!r}")
     return target
+
+
+def request_label(request) -> str:
+    """Human-readable name for a request callable (partial-aware)."""
+    if isinstance(request, functools.partial):
+        bound = [repr(a) for a in request.args]
+        bound += [f"{k}={v!r}" for k, v in request.keywords.items()]
+        return (f"{request_label(request.func)}"
+                f"({', '.join(bound)})")
+    return getattr(request, "__name__", repr(request))

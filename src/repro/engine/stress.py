@@ -24,6 +24,10 @@ from __future__ import annotations
 from .fleet import Fleet
 from .requests import MIXED_REQUESTS
 
+#: ``backend=`` choices of :func:`run_stress`; resolved lazily so the
+#: thread path never imports multiprocessing machinery.
+STRESS_BACKENDS = ("thread", "process")
+
 
 def fingerprint(value, _seen: set | None = None):
     """Normalize a device model graph into comparable plain data."""
@@ -64,23 +68,63 @@ def fleet_fingerprint(fleet: Fleet):
         for session in fleet.sessions)
 
 
+def _stress_evidence(fleet, backend: str) -> dict:
+    """The comparable evidence of one finished stress run.
+
+    ``states`` (byte-comparable per-mapping snapshots) and
+    ``accounting`` exist on both backends; the deep model
+    ``fingerprint`` needs in-process access to the device models, so
+    only the thread backend provides it (the process backend's models
+    live in the workers — their pickled states stand in for them).
+    """
+    if backend == "process":
+        return {"accounting": fleet.accounting,
+                "states": fleet.device_states(),
+                "fingerprint": None,
+                "trace_dropped": fleet.trace_dropped,
+                "trace_len": len(fleet.trace)}
+    return {"accounting": fleet.accounting.snapshot(),
+            "states": fleet.device_states(),
+            "fingerprint": fleet_fingerprint(fleet),
+            "trace_dropped": fleet.bus.trace_dropped,
+            "trace_len": len(fleet.bus.trace)}
+
+
 def run_stress(devices, schedule, workers: int = 8,
                strategy: str = "specialize",
                shadow_cache: bool = False,
-               reference=None):
+               reference=None, backend: str = "thread",
+               tracing: bool = False, **fleet_kwargs):
     """Run ``schedule`` (a list of ``(spec, request)``) twice: with
-    ``workers`` workers and with one, and assert exact equivalence.
+    ``workers`` workers on ``backend`` and with one thread (the serial
+    reference), and assert exact equivalence — byte-equal per-mapping
+    end-state, equal merged accounting, and (thread backend) equal
+    deep model fingerprints.
 
-    Returns ``(accounting snapshot, fleet fingerprint)`` — also usable
-    as the ``reference`` of a later call to amortize the serial run
-    across repeated stress iterations.
+    With ``tracing=True`` both runs also assert that no trace entries
+    were dropped (the unbounded ring must capture every port op).
+    Extra ``fleet_kwargs`` (``batch_size``, ``ring_bytes``, ...) reach
+    the parallel fleet only — the reference stays the canonical
+    single-threaded run.
+
+    Returns the reference evidence — pass it back as ``reference`` on
+    a later call to amortize the serial run across repeated stress
+    iterations.
     """
-    with Fleet(devices, strategy=strategy, workers=workers,
-               policy="round-robin",
-               shadow_cache=shadow_cache) as fleet:
+    if backend not in STRESS_BACKENDS:
+        raise ValueError(
+            f"unknown stress backend {backend!r} "
+            f"(have: {', '.join(STRESS_BACKENDS)})")
+    if backend == "process":
+        from .mp import ProcessFleet
+        fleet_cls = ProcessFleet
+    else:
+        fleet_cls = Fleet
+    with fleet_cls(devices, strategy=strategy, workers=workers,
+                   policy="round-robin", shadow_cache=shadow_cache,
+                   tracing=tracing, **fleet_kwargs) as fleet:
         fleet.run(schedule)
-        parallel_accounting = fleet.accounting.snapshot()
-        parallel_state = fleet_fingerprint(fleet)
+        parallel = _stress_evidence(fleet, backend)
         completed = fleet.completed()
 
     if completed != len(schedule):
@@ -89,23 +133,41 @@ def run_stress(devices, schedule, workers: int = 8,
 
     if reference is None:
         with Fleet(devices, strategy=strategy, workers=1,
-                   policy="round-robin",
-                   shadow_cache=shadow_cache) as fleet:
+                   policy="round-robin", shadow_cache=shadow_cache,
+                   tracing=tracing) as fleet:
             fleet.run(schedule)
-            reference = (fleet.accounting.snapshot(),
-                         fleet_fingerprint(fleet))
+            reference = _stress_evidence(fleet, "thread")
 
-    serial_accounting, serial_state = reference
-    if parallel_accounting != serial_accounting:
+    if parallel["accounting"] != reference["accounting"]:
         raise AssertionError(
             "parallel accounting diverged from the serial reference:\n"
-            f"  parallel: {parallel_accounting}\n"
-            f"  serial:   {serial_accounting}")
-    if parallel_state != serial_state:
-        torn = [label for (label, fp), (_, ref_fp)
-                in zip(parallel_state, serial_state) if fp != ref_fp]
+            f"  parallel: {parallel['accounting']}\n"
+            f"  serial:   {reference['accounting']}")
+    if parallel["states"] != reference["states"]:
+        torn = sorted(
+            name for name in reference["states"]
+            if parallel["states"].get(name) != reference["states"][name])
         raise AssertionError(
             f"device state diverged from the serial reference on: {torn}")
+    if parallel["fingerprint"] is not None \
+            and reference["fingerprint"] is not None \
+            and parallel["fingerprint"] != reference["fingerprint"]:
+        torn = [label for (label, fp), (_, ref_fp)
+                in zip(parallel["fingerprint"], reference["fingerprint"])
+                if fp != ref_fp]
+        raise AssertionError(
+            f"device models diverged from the serial reference on: {torn}")
+    if tracing:
+        for side, evidence in (("parallel", parallel),
+                               ("serial", reference)):
+            if evidence["trace_dropped"]:
+                raise AssertionError(
+                    f"{side} run dropped "
+                    f"{evidence['trace_dropped']} trace entries")
+            if not evidence["trace_len"]:
+                raise AssertionError(
+                    f"{side} run produced an empty trace under "
+                    f"tracing=True")
     return reference
 
 

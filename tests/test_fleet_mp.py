@@ -19,6 +19,7 @@ a valid test at all.
 
 from __future__ import annotations
 
+import functools
 import pickle
 
 import pytest
@@ -84,16 +85,30 @@ def _device_trace(trace, slot):
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("spec", SPEC_NAMES)
-def test_backend_parity_per_spec(spec):
-    """Serial, thread-fleet and process-fleet runs of the shipped
-    workload are byte-identical in end-state, accounting, spans and
-    per-device traces."""
+@functools.lru_cache(maxsize=None)
+def _spec_references(spec):
+    """Serial and thread evidence for one spec's parity schedule.
+
+    Cached: the references are identical for every process-backend
+    batch size, so each spec pays for them once."""
     devices = [spec, spec]
     schedule = [(spec, WORKLOADS[spec])] * 6
-    serial = _run_backend("serial", devices, schedule)
-    threaded = _run_backend("thread", devices, schedule)
-    process = _run_backend("process", devices, schedule)
+    return (_run_backend("serial", devices, schedule),
+            _run_backend("thread", devices, schedule))
+
+
+@pytest.mark.parametrize("batch_size", (1, 8, "auto"))
+@pytest.mark.parametrize("spec", SPEC_NAMES)
+def test_backend_parity_per_spec(spec, batch_size):
+    """Serial, thread-fleet and process-fleet runs of the shipped
+    workload are byte-identical in end-state, accounting, spans and
+    per-device traces — at every batch size (batching and the result
+    rings are transport, never semantics)."""
+    devices = [spec, spec]
+    schedule = [(spec, WORKLOADS[spec])] * 6
+    serial, threaded = _spec_references(spec)
+    process = _run_backend("process", devices, schedule,
+                           batch_size=batch_size)
 
     for backend, evidence in (("thread", threaded),
                               ("process", process)):
@@ -256,6 +271,188 @@ def test_process_fleet_rejects_unshippable_requests_at_submit():
         fleet.submit("ide", ide_sector_read)
         fleet.drain()
         assert fleet.completed() == 1
+
+
+def test_request_codec_roundtrips_partials():
+    """A partial over a module-level callable ships: the base travels
+    by reference, the bound arguments by value."""
+    import functools as ft
+
+    from repro.engine import ide_sector_read_lba, request_label
+
+    request = ft.partial(ide_sector_read_lba, lba=9)
+    token = encode_request(request)
+    assert isinstance(token, tuple) and token[0] == "partial"
+    resolved = decode_request(token)
+    assert resolved.func is ide_sector_read_lba
+    assert resolved.keywords == {"lba": 9}
+    # Nested partials flatten at construction, so they ship too.
+    nested = ft.partial(ft.partial(ide_sector_read_lba, lba=3))
+    assert decode_request(encode_request(nested)).keywords == {"lba": 3}
+    assert "ide_sector_read_lba" in request_label(request)
+    assert "lba=9" in request_label(request)
+
+
+def test_request_codec_rejects_bad_partials():
+    import functools as ft
+
+    from repro.engine import ide_sector_read_lba
+
+    with pytest.raises(ValueError):  # lambda under the partial
+        encode_request(ft.partial(lambda stubs, aux: None))
+    with pytest.raises(ValueError):  # unpicklable bound argument
+        encode_request(ft.partial(ide_sector_read_lba,
+                                  lba=lambda: 2))
+    with pytest.raises(ValueError):  # malformed tuple tokens
+        decode_request(("partial", "only-two"))
+    with pytest.raises(ValueError):
+        decode_request(("partial", "repro.engine.requests:"
+                        "ide_sector_read_lba", b"not a pickle"))
+
+
+def test_process_fleet_executes_partial_requests_exactly():
+    """Partial requests land the same end-state on every backend (the
+    bound lba argument must actually reach the worker)."""
+    import functools as ft
+
+    from repro.engine import ide_sector_read_lba
+
+    schedule = [("ide", ft.partial(ide_sector_read_lba, lba=5)),
+                ("ide", ide_sector_read),
+                ("ide", ft.partial(ide_sector_read_lba, lba=11))] * 2
+    serial = _run_backend("serial", ["ide", "ide"], schedule)
+    process = _run_backend("process", ["ide", "ide"], schedule,
+                           batch_size=8)
+    assert process["states"] == serial["states"]
+    assert process["by_device"] == serial["by_device"]
+    for _, label, slot in fleet_layout(["ide", "ide"]):
+        assert _device_trace(process["trace"], slot) == \
+            _device_trace(serial["trace"], slot), label
+    # The parameterized reads really did touch different sectors than
+    # a default-lba-only schedule would.
+    default_only = _run_backend("serial", ["ide", "ide"],
+                                [("ide", ide_sector_read)] * 6)
+    assert process["trace"] != default_only["trace"]
+
+
+# ---------------------------------------------------------------------------
+# Batching and the shared-memory result rings
+# ---------------------------------------------------------------------------
+
+
+def test_submit_batch_matches_per_request_submission():
+    """submit_batch places and executes identically to N submits, on
+    both backends (placement is per request; only transport groups)."""
+    from repro.engine import Fleet, mixed_schedule
+
+    devices = ["ide", "permedia2", "ne2000"]
+    schedule = mixed_schedule(4)
+    evidence = {}
+    for mode in ("loop", "batch"):
+        with ProcessFleet(devices, workers=2) as fleet:
+            if mode == "batch":
+                assert fleet.submit_batch(schedule) == len(schedule)
+            else:
+                for spec, request in schedule:
+                    fleet.submit(spec, request)
+            fleet.drain()
+            evidence[mode] = (fleet.completed_by_device(),
+                              fleet.device_states(),
+                              fleet.accounting)
+    assert evidence["loop"] == evidence["batch"]
+    with Fleet(devices, workers=2) as fleet:
+        assert fleet.submit_batch(schedule) == len(schedule)
+        fleet.drain()
+        assert fleet.completed_by_device() == evidence["loop"][0]
+
+
+def test_partial_batches_flush_at_sync_points():
+    """A drain flushes buffered placements no matter how few: nothing
+    below the batch watermark is ever stranded."""
+    with ProcessFleet(["ide", "ide"], workers=2,
+                      batch_size=64) as fleet:
+        fleet.submit("ide", ide_sector_read)
+        fleet.drain()
+        assert fleet.completed() == 1
+        for _ in range(3):
+            fleet.submit("ide", ide_sector_read)
+        fleet.drain()
+        assert fleet.completed() == 4
+
+
+def test_tiny_ring_spills_to_queue_without_losing_anything():
+    """A ring too small for the traced payload degrades to the queue
+    transport record for record — exactness must not depend on ring
+    capacity (MIN_RING_BYTES is far below a traced sync report)."""
+    from repro.engine import MIN_RING_BYTES
+
+    devices = ["ide", "ide"]
+    schedule = [("ide", ide_sector_read)] * 8
+    spacious = _run_backend("process", devices, schedule,
+                            batch_size=4)
+    tiny = _run_backend("process", devices, schedule, batch_size=4,
+                        ring_bytes=MIN_RING_BYTES)
+    assert tiny["states"] == spacious["states"]
+    assert tiny["trace"] == spacious["trace"]
+    assert tiny["signatures"] == spacious["signatures"]
+    assert tiny["accounting"] == spacious["accounting"]
+
+
+def test_ring_disabled_fallback_matches_ring_transport():
+    """ring_bytes=0 rides the reply queue (the pre-ring transport)
+    and must be observationally identical."""
+    devices = ["ide", "ne2000"]
+    schedule = [("ide", ide_sector_read)] * 4 + \
+        [("ne2000", WORKLOADS["ne2000"])] * 4
+    with_ring = _run_backend("process", devices, schedule)
+    without = _run_backend("process", devices, schedule, ring_bytes=0)
+    assert without == with_ring
+
+
+def test_process_fleet_validates_batching_parameters():
+    with pytest.raises(ValueError, match="batch_size"):
+        ProcessFleet(["ide"], batch_size=0)
+    with pytest.raises(ValueError, match="batch_size"):
+        ProcessFleet(["ide"], batch_size="huge")
+    with pytest.raises(ValueError, match="flush_us"):
+        ProcessFleet(["ide"], flush_us=0)
+    with pytest.raises(ValueError, match="ring_bytes"):
+        ProcessFleet(["ide"], ring_bytes=-1)
+
+
+def test_shm_ring_put_read_ack_cycle():
+    """Unit-level ring contract: framed records round-trip, a full
+    ring refuses rather than overwrites, acks reclaim space."""
+    from repro.engine import ShmRing
+    from repro.engine.shm import create_ring_memory
+
+    producer_view = ShmRing(create_ring_memory(4096))
+    try:
+        consumer = ShmRing(producer_view.memory)
+        records = [("spans", list(range(50))), ("sync_report", 1, {})]
+        for record in records:
+            assert producer_view.put(record)
+        assert consumer.read_to(producer_view.written) == records
+
+        # Fill until refusal; nothing written after a False return.
+        big = ("blob", b"x" * 600)
+        accepted = 0
+        while producer_view.put(big):
+            accepted += 1
+        assert accepted > 0
+        written_before = producer_view.written
+        assert not producer_view.put(big)
+        assert producer_view.written == written_before
+
+        # Drain + ack makes the space reusable (wrap-around included).
+        assert consumer.read_to(producer_view.written) == \
+            [big] * accepted
+        producer_view.ack(consumer.consumed)
+        assert producer_view.put(big)
+        assert consumer.read_to(producer_view.written) == [big]
+    finally:
+        producer_view.close()
+        producer_view.unlink()
 
 
 # ---------------------------------------------------------------------------

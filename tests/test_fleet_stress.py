@@ -1,0 +1,133 @@
+"""Coverage for :mod:`repro.engine.stress` — the exactness harness
+itself.
+
+The stress helpers are what the benchmarks and the property suite
+lean on for "lost nothing, tore nothing" claims, so they get direct
+tests: the fingerprint normalizer's contract, a seeded stress run
+under both backends (exactness plus no dropped trace entries), and
+the negative case — a harness that cannot detect divergence would
+pass everything, so we prove it fails on a corrupted reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    Fleet,
+    fingerprint,
+    fleet_fingerprint,
+    ide_sector_read,
+    mixed_schedule,
+    run_stress,
+)
+
+pytestmark = pytest.mark.concurrency
+
+DEVICES = ["ide", "permedia2", "ne2000"]
+
+
+# ---------------------------------------------------------------------------
+# fingerprint / fleet_fingerprint
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_normalizes_mutable_containers():
+    assert fingerprint(bytearray(b"ab")) == b"ab"
+    assert fingerprint({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+    assert fingerprint([1, (2, 3)]) == (1, (2, 3))
+    assert fingerprint({3, 1, 2}) == tuple(sorted(["1", "2", "3"]))
+
+
+def test_fingerprint_handles_cycles_and_objects():
+    class Model:
+        def __init__(self):
+            self.ram = bytearray(b"\x01\x02")
+            self.other = None
+
+    first, second = Model(), Model()
+    first.other, second.other = second, first  # a cycle
+    printed = fingerprint(first)
+    assert printed[0] == "Model"
+    assert "<cycle>" in repr(printed)
+    # Equal graphs fingerprint equal; a one-byte flip does not.
+    third, fourth = Model(), Model()
+    third.other, fourth.other = fourth, third
+    assert fingerprint(third) == printed
+    third.ram[0] ^= 0x01
+    assert fingerprint(third) != printed
+
+
+def test_fleet_fingerprint_distinguishes_device_state():
+    with Fleet(["ide", "ide"], workers=1) as fleet:
+        before = fleet_fingerprint(fleet)
+        fleet.run([("ide", ide_sector_read)])
+        after = fleet_fingerprint(fleet)
+    labels = [label for label, _ in after]
+    assert labels == ["ide0", "ide1"]
+    # The read mutated ide0's model (status/shadow registers) only.
+    assert after[0] != before[0]
+    assert after[1] == before[1]
+
+
+# ---------------------------------------------------------------------------
+# run_stress: both backends, tracing, reference reuse
+# ---------------------------------------------------------------------------
+
+
+def test_run_stress_thread_backend_with_tracing():
+    schedule = mixed_schedule(6)
+    reference = run_stress(DEVICES, schedule, workers=4,
+                           tracing=True)
+    assert reference["trace_dropped"] == 0
+    assert reference["trace_len"] > 0
+    # The returned reference amortizes the serial run across calls.
+    again = run_stress(DEVICES, schedule, workers=2, tracing=True,
+                       reference=reference)
+    assert again is reference
+
+
+def test_run_stress_process_backend_matches_serial_reference():
+    schedule = mixed_schedule(6)
+    reference = run_stress(DEVICES, schedule, workers=2,
+                           backend="process", tracing=True)
+    # Batched and ring-less transports against the same reference.
+    run_stress(DEVICES, schedule, workers=2, backend="process",
+               tracing=True, reference=reference, batch_size=8)
+    run_stress(DEVICES, schedule, workers=2, backend="process",
+               tracing=True, reference=reference, ring_bytes=0)
+
+
+def test_run_stress_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="backend"):
+        run_stress(DEVICES, mixed_schedule(1), backend="quantum")
+
+
+def test_run_stress_detects_divergence():
+    """A corrupted reference must fail loudly — the harness's whole
+    job is telling exact from almost-exact."""
+    schedule = mixed_schedule(3)
+    reference = run_stress(DEVICES, schedule, workers=2)
+
+    poisoned = dict(reference)
+    poisoned["states"] = dict(reference["states"])
+    name = next(iter(poisoned["states"]))
+    poisoned["states"][name] = b"corrupted"
+    with pytest.raises(AssertionError, match="device state diverged"):
+        run_stress(DEVICES, schedule, workers=2, reference=poisoned)
+
+    from repro.bus import IoAccounting
+    poisoned = dict(reference)
+    poisoned["accounting"] = IoAccounting(reads=1)
+    with pytest.raises(AssertionError, match="accounting diverged"):
+        run_stress(DEVICES, schedule, workers=2, reference=poisoned)
+
+
+def test_run_stress_flags_dropped_trace_entries():
+    """tracing=True is a completeness claim: a parallel fleet whose
+    bounded trace ring evicted entries must fail the stress run even
+    though accounting and end-state still match exactly."""
+    schedule = mixed_schedule(4)
+    with pytest.raises(AssertionError, match="dropped"):
+        run_stress(DEVICES, schedule, workers=2, tracing=True,
+                   trace_limit=5)
