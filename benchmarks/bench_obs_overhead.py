@@ -34,6 +34,15 @@ Two guards:
   session that recorded the baseline, hence not asserted by default).
 
 Records ``results/BENCH_obs_overhead.{txt,json}``.
+
+The **fleet leg** (``--fleet-only`` / skipped with ``--no-fleet``)
+extends the ladder to the live telemetry plane of PR 7: the same
+latency-model mixed workload driven through a thread fleet and a
+process fleet with ``telemetry=`` off and on, interleaved A/B in one
+process.  Enabled overhead on the thread backend is asserted ≤5%
+(heartbeats, the flight recorder and latency histograms live at
+request boundaries, off the port-I/O path).  Records
+``results/BENCH_obs_live.{txt,json}``.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ import json
 import sys
 import time
 from pathlib import Path
+
+import pytest
 
 _HERE = Path(__file__).resolve().parent
 for _path in (_HERE, _HERE.parent / "src"):
@@ -329,6 +340,123 @@ def test_obs_overhead_quick():
     run_bench(quick=True)
 
 
+# ---------------------------------------------------------------------------
+# The fleet leg: live-plane enabled overhead on both backends
+# ---------------------------------------------------------------------------
+
+#: Enabled live telemetry (heartbeats + histograms + flight recorder)
+#: must cost at most this fraction of thread-fleet throughput.
+FLEET_OVERHEAD_BOUND = 0.05
+
+FLEET_DEVICES = ("ide", "permedia2", "ne2000")
+
+
+def _fleet_rate_pair(backend: str, schedule, rounds: int,
+                     workers: int = 2) -> dict[str, float]:
+    """Interleaved A/B requests/sec: ``telemetry=`` off vs on.
+
+    Both fleets live for the whole measurement; each round runs the
+    full schedule (submit + drain) on each side, alternating which
+    side goes first, and the best round per side is kept — the same
+    drift-immunity discipline as the stub-dispatch A/B above.
+    """
+    from repro.engine import Fleet, ProcessFleet
+
+    fleet_cls = ProcessFleet if backend == "process" else Fleet
+    kwargs = dict(workers=workers, policy="round-robin",
+                  op_latency_us=20.0, word_latency_us=0.2)
+    fleets = {"off": fleet_cls(list(FLEET_DEVICES), **kwargs),
+              "on": fleet_cls(list(FLEET_DEVICES), telemetry=True,
+                              **kwargs)}
+    best = {"off": float("inf"), "on": float("inf")}
+    try:
+        for fleet in fleets.values():
+            fleet.run(schedule)  # warm workers, caches, lazy imports
+        for repeat in range(rounds):
+            order = ("off", "on") if repeat % 2 == 0 else ("on", "off")
+            for key in order:
+                fleet = fleets[key]
+                start = time.perf_counter()
+                fleet.run(schedule)
+                best[key] = min(best[key],
+                                time.perf_counter() - start)
+        # The enabled plane must actually have been alive, not elided.
+        telemetry = fleets["on"].telemetry
+        assert telemetry.observed_p95_us() > 0.0
+        assert fleets["on"].health_view().statuses()
+    finally:
+        for fleet in fleets.values():
+            fleet.shutdown()
+    return {key: len(schedule) / elapsed
+            for key, elapsed in best.items()}
+
+
+def run_fleet_bench(quick: bool = False,
+                    requests_per_spec: int | None = None,
+                    rounds: int | None = None) -> dict:
+    """The live-plane leg; records ``results/BENCH_obs_live``."""
+    from repro.engine import mixed_schedule
+
+    requests_per_spec = requests_per_spec or (8 if quick else 32)
+    rounds = rounds or (3 if quick else 7)
+    schedule = mixed_schedule(requests_per_spec)
+
+    rows = []
+    for backend in ("thread", "process"):
+        rates = _fleet_rate_pair(backend, schedule, rounds)
+        rows.append({
+            "backend": backend,
+            "requests": len(schedule),
+            "rounds": rounds,
+            "req_per_sec": rates,
+            "overhead_enabled": rates["off"] / rates["on"] - 1.0,
+        })
+
+    lines = [
+        f"Live fleet telemetry overhead, req/s (best of {rounds} x "
+        f"{len(schedule)} latency-model requests, 2 workers):",
+        "",
+        f"{'backend':<10} {'telemetry off':>14} {'telemetry on':>14} "
+        f"{'enabled%':>9}",
+    ]
+    for row in rows:
+        rates = row["req_per_sec"]
+        lines.append(f"{row['backend']:<10} {rates['off']:>14,.0f} "
+                     f"{rates['on']:>14,.0f} "
+                     f"{100 * row['overhead_enabled']:>8.1f}%")
+    lines += [
+        "",
+        "enabled% = slowdown with the live plane attached (heartbeats, "
+        "request-latency",
+        "histograms, flight recorder), interleaved in-process; the "
+        "thread backend is",
+        f"asserted <= {100 * FLEET_OVERHEAD_BOUND:.0f}% (the process "
+        "backend's number is informational — its",
+        "heartbeats cross shared memory and ride worker-side request "
+        "execution).",
+    ]
+
+    report = {"quick": quick, "requests": len(schedule),
+              "rounds": rounds,
+              "fleet_overhead_bound": FLEET_OVERHEAD_BOUND,
+              "rows": rows}
+    record("BENCH_obs_live", "\n".join(lines), data=report)
+
+    for row in rows:
+        if row["backend"] == "thread":
+            assert row["overhead_enabled"] <= FLEET_OVERHEAD_BOUND, \
+                f"thread fleet: enabled live telemetry costs " \
+                f"{100 * row['overhead_enabled']:.1f}% " \
+                f"(bound {100 * FLEET_OVERHEAD_BOUND:.0f}%)"
+    return report
+
+
+@pytest.mark.concurrency
+def test_obs_live_fleet_quick():
+    """Pytest entry point: quick fleet leg (concurrency job)."""
+    run_fleet_bench(quick=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -341,9 +469,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="timed calls per measurement")
     parser.add_argument("--repeats", type=int, default=None,
                         help="measurement repeats (best is kept)")
+    parser.add_argument("--no-fleet", action="store_true",
+                        help="skip the live fleet telemetry leg "
+                             "(fast CI tier)")
+    parser.add_argument("--fleet-only", action="store_true",
+                        help="run only the live fleet telemetry leg "
+                             "(CI concurrency job)")
     options = parser.parse_args(argv)
-    run_bench(quick=options.quick, strict=options.strict,
-              iterations=options.iterations, repeats=options.repeats)
+    if options.no_fleet and options.fleet_only:
+        parser.error("--no-fleet and --fleet-only are exclusive")
+    if not options.fleet_only:
+        run_bench(quick=options.quick, strict=options.strict,
+                  iterations=options.iterations,
+                  repeats=options.repeats)
+    if not options.no_fleet:
+        run_fleet_bench(quick=options.quick)
     return 0
 
 

@@ -10,6 +10,9 @@ Usage::
                                          workload with telemetry
     devilc fleet  [--devices ide:4 ...]  drive a concurrent device
                                          fleet, report throughput
+    devilc top    [--devices ide:4 ...]  live per-worker dashboard of
+                                         a running fleet (health,
+                                         throughput, latency)
 
 (``devil`` is installed as an alias of ``devilc``; ``devil trace
 busmouse --format=chrome`` is the quick-start of docs/LANGUAGE.md.)
@@ -160,6 +163,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 0.2)")
     fleet.add_argument("--shadow-cache", action="store_true",
                        help="enable the register shadow cache")
+    fleet.add_argument("--telemetry", action="store_true",
+                       help="attach the live telemetry plane "
+                            "(heartbeats, flight recorder, latency "
+                            "histograms) and print a health summary")
+    fleet.add_argument("--health-log", metavar="PATH",
+                       help="write periodic heartbeat/health JSONL "
+                            "records to PATH while the fleet runs "
+                            "(implies --telemetry)")
+
+    top = commands.add_parser(
+        "top",
+        help="live per-worker dashboard of a running fleet")
+    top.add_argument("--devices", nargs="+", default=["ide:2",
+                                                      "permedia2:2",
+                                                      "ne2000:2"],
+                     metavar="SPEC[:COUNT]",
+                     help="fleet composition (default: ide:2 "
+                          "permedia2:2 ne2000:2)")
+    top.add_argument("--backend", default="thread",
+                     choices=("thread", "process"),
+                     help="execution substrate (default: thread)")
+    top.add_argument("--workers", type=int, default=4,
+                     help="worker threads or processes (default: 4)")
+    top.add_argument("--requests", type=int, default=16,
+                     help="requests per spec per feeder round "
+                          "(default: 16)")
+    top.add_argument("--policy", default="round-robin",
+                     choices=("round-robin", "weighted-round-robin",
+                              "least-loaded"),
+                     help="dispatch policy (default: round-robin)")
+    top.add_argument("--strategy", default="specialize",
+                     choices=("interpret", "specialize", "generated"),
+                     help="execution strategy (default: specialize)")
+    top.add_argument("--latency-us", type=float, default=20.0,
+                     help="sleeping port latency per bus op "
+                          "(default: 20.0)")
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="refresh interval in seconds (default: 0.5)")
+    top.add_argument("--duration", type=float, default=10.0,
+                     help="run for this many seconds (default: 10)")
+    top.add_argument("--once", action="store_true",
+                     help="drive one feeder round, render a single "
+                          "frame and exit (CI smoke mode)")
     return parser
 
 
@@ -175,6 +221,8 @@ def _run(arguments) -> int:
         return _run_trace(arguments)
     if arguments.command == "fleet":
         return _run_fleet(arguments)
+    if arguments.command == "top":
+        return _run_top(arguments)
     try:
         spec = compile_file(arguments.spec)
     except DevilError as error:
@@ -277,27 +325,36 @@ def _run_trace(arguments) -> int:
     return 0
 
 
+def _parse_devices(items) -> list[str] | None:
+    """``["ide:2", ...] -> ["ide", "ide", ...]``; None on a bad item."""
+    from ..specs import SPEC_NAMES
+
+    devices: list[str] = []
+    for item in items:
+        spec, _, count_text = item.partition(":")
+        if spec not in SPEC_NAMES:
+            print(f"unknown shipped spec {spec!r}; choose from: "
+                  f"{', '.join(SPEC_NAMES)}", file=sys.stderr)
+            return None
+        try:
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            print(f"bad device count in {item!r}", file=sys.stderr)
+            return None
+        devices.extend([spec] * count)
+    return devices
+
+
 def _run_fleet(arguments) -> int:
     """Drive a concurrent fleet of shipped devices; print throughput."""
     import time
 
     from ..engine import MIXED_REQUESTS, Fleet, ProcessFleet
     from ..obs.workloads import WORKLOADS
-    from ..specs import SPEC_NAMES
 
-    devices: list[str] = []
-    for item in arguments.devices:
-        spec, _, count_text = item.partition(":")
-        if spec not in SPEC_NAMES:
-            print(f"unknown shipped spec {spec!r}; choose from: "
-                  f"{', '.join(SPEC_NAMES)}", file=sys.stderr)
-            return 1
-        try:
-            count = int(count_text) if count_text else 1
-        except ValueError:
-            print(f"bad device count in {item!r}", file=sys.stderr)
-            return 1
-        devices.extend([spec] * count)
+    devices = _parse_devices(arguments.devices)
+    if devices is None:
+        return 1
 
     specs = sorted(set(devices))
     requests = {spec: MIXED_REQUESTS.get(spec, WORKLOADS[spec])
@@ -313,12 +370,14 @@ def _run_fleet(arguments) -> int:
             print(f"bad --batch-size {batch_size!r} "
                   f"(want an integer or 'auto')", file=sys.stderr)
             return 1
+    telemetry = arguments.telemetry or bool(arguments.health_log)
     common = dict(strategy=arguments.strategy,
                   policy=arguments.policy,
                   workers=arguments.workers,
                   shadow_cache=arguments.shadow_cache,
                   op_latency_us=arguments.latency_us,
-                  word_latency_us=arguments.word_latency_us)
+                  word_latency_us=arguments.word_latency_us,
+                  telemetry=telemetry or None)
     try:
         if arguments.backend == "auto":
             fleet = Fleet.auto(devices, schedule, **common)
@@ -339,12 +398,23 @@ def _run_fleet(arguments) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 1
+    monitor = None
+    if arguments.health_log:
+        from ..obs.live import LiveMonitor
+        monitor = LiveMonitor(fleet, interval=0.25,
+                              log_path=arguments.health_log)
     with fleet:
-        start = time.perf_counter()
-        for spec, request in schedule:
-            fleet.submit(spec, request)
-        fleet.drain()
-        elapsed = time.perf_counter() - start
+        if monitor is not None:
+            monitor.start()
+        try:
+            start = time.perf_counter()
+            for spec, request in schedule:
+                fleet.submit(spec, request)
+            fleet.drain()
+            elapsed = time.perf_counter() - start
+        finally:
+            if monitor is not None:
+                monitor.stop()
         total = fleet.completed()
         accounting = fleet.accounting
         print(f"fleet: {len(devices)} devices "
@@ -360,6 +430,141 @@ def _run_fleet(arguments) -> int:
         for session in fleet.sessions:
             print(f"  {session.label:<12} {session.completed:>6} "
                   f"requests")
+        if fleet.telemetry is not None:
+            rows = fleet.health_view().check()
+            statuses = ", ".join(f"{row.worker}={row.status}"
+                                 for row in rows)
+            dropped = fleet.telemetry.metrics.value("bus.trace_dropped")
+            print(f"  health: {statuses}")
+            if dropped:
+                print(f"  bus trace entries dropped: {dropped}")
+            if arguments.health_log:
+                print(f"  health log: {arguments.health_log}")
+    return 0
+
+
+def _top_frame(fleet, health, previous, now) -> str:
+    """Render one dashboard frame from a health check.
+
+    ``previous`` maps worker -> (completed, timestamp) from the last
+    frame and is updated in place; the delta gives per-worker req/s.
+    """
+    rows = health.check()
+    telemetry = fleet.telemetry
+    lines = [
+        f"devil top — {fleet.backend} backend, {len(rows)} workers, "
+        f"stall window {health.stall_window():.2f}s",
+        f"{'WORKER':<12} {'HEALTH':<8} {'DONE':>8} {'REQ/S':>7} "
+        f"{'QUEUE':>5} {'BATCH':>5} {'P50us':>8} {'P95us':>8}  INFLIGHT",
+    ]
+    total_done = 0
+    total_rate = 0.0
+    for row in rows:
+        total_done += row.completed
+        prior = previous.get(row.worker)
+        if prior is None or now <= prior[1]:
+            rate_text = "-"
+        else:
+            rate = (row.completed - prior[0]) / (now - prior[1])
+            total_rate += max(rate, 0.0)
+            rate_text = f"{rate:.0f}"
+        previous[row.worker] = (row.completed, now)
+
+        def cell(value, fmt="{:.0f}"):
+            return "-" if value is None else fmt.format(value)
+
+        inflight = row.inflight or ""
+        if row.inflight_age_s is not None:
+            inflight += f" ({row.inflight_age_s:.1f}s)"
+        lines.append(
+            f"{row.worker:<12} {row.status:<8} {row.completed:>8} "
+            f"{rate_text:>7} {cell(row.queue_depth):>5} "
+            f"{cell(row.batch_occupancy):>5} "
+            f"{cell(row.latency_p50_us):>8} "
+            f"{cell(row.latency_p95_us):>8}  {inflight[:30]}")
+    dropped = telemetry.metrics.value("bus.trace_dropped")
+    recorder = telemetry.recorder
+    lines.append(
+        f"total: {total_done} done, {total_rate:.0f} req/s | "
+        f"trace dropped: {dropped} | flight events: "
+        f"{len(recorder.events())}"
+        + (f" (+{recorder.dropped} evicted)" if recorder.dropped else ""))
+    return "\n".join(lines) + "\n"
+
+
+def _run_top(arguments) -> int:
+    """Live per-worker dashboard over the fleet telemetry plane."""
+    import threading
+    import time
+
+    from ..engine import MIXED_REQUESTS, Fleet, ProcessFleet
+    from ..obs.workloads import WORKLOADS
+
+    devices = _parse_devices(arguments.devices)
+    if devices is None:
+        return 1
+    specs = sorted(set(devices))
+    requests = {spec: MIXED_REQUESTS.get(spec, WORKLOADS[spec])
+                for spec in specs}
+    schedule = [(spec, requests[spec])
+                for _ in range(arguments.requests) for spec in specs]
+
+    fleet_cls = ProcessFleet if arguments.backend == "process" else Fleet
+    try:
+        fleet = fleet_cls(devices, strategy=arguments.strategy,
+                          policy=arguments.policy,
+                          workers=arguments.workers,
+                          op_latency_us=arguments.latency_us,
+                          telemetry=True)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+    with fleet:
+        health = fleet.health_view()
+        previous: dict = {}
+        if arguments.once:
+            fleet.run(schedule)
+            sys.stdout.write(
+                _top_frame(fleet, health, previous, time.monotonic()))
+            return 0
+
+        stop = threading.Event()
+        feeder_errors: list[BaseException] = []
+
+        def feed() -> None:
+            # Feed round by round: fleet.run() drains between rounds,
+            # which bounds outstanding work on both backends.
+            while not stop.is_set():
+                try:
+                    fleet.run(schedule)
+                except BaseException as error:  # surface in the footer
+                    feeder_errors.append(error)
+                    return
+
+        feeder = threading.Thread(target=feed, name="top-feeder",
+                                  daemon=True)
+        feeder.start()
+        interactive = sys.stdout.isatty()
+        deadline = time.monotonic() + arguments.duration
+        try:
+            while time.monotonic() < deadline and not feeder_errors:
+                frame = _top_frame(fleet, health, previous,
+                                   time.monotonic())
+                if interactive:
+                    sys.stdout.write("\x1b[2J\x1b[H" + frame)
+                else:
+                    sys.stdout.write(frame + "\n")
+                sys.stdout.flush()
+                time.sleep(arguments.interval)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            stop.set()
+            feeder.join(timeout=max(arguments.duration, 30.0))
+        if feeder_errors:
+            print(f"feeder failed: {feeder_errors[0]}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -51,6 +51,7 @@ from .requests import (
     ne2000_ring_poll,
     pm2_fill_rect,
     request_label,
+    wedged_request,
 )
 from .scheduler import (
     DETERMINISTIC_POLICIES,
@@ -68,7 +69,13 @@ from .select import (
     calibrate,
     decide,
 )
-from .shm import DEFAULT_RING_BYTES, MIN_RING_BYTES, ShmRing
+from .shm import (
+    DEFAULT_RING_BYTES,
+    HEARTBEAT_SLOT_BYTES,
+    MIN_RING_BYTES,
+    HeartbeatSlot,
+    ShmRing,
+)
 from .stress import (
     STRESS_BACKENDS,
     fingerprint,
@@ -100,6 +107,7 @@ __all__ = [
     "ne2000_ring_poll",
     "pm2_fill_rect",
     "request_label",
+    "wedged_request",
     "BackendChoice",
     "KindProfile",
     "auto_fleet",
@@ -108,6 +116,8 @@ __all__ = [
     "decide",
     "DEFAULT_AUTO_BATCH",
     "DEFAULT_RING_BYTES",
+    "HEARTBEAT_SLOT_BYTES",
+    "HeartbeatSlot",
     "MIN_RING_BYTES",
     "ShmRing",
     "STRESS_BACKENDS",

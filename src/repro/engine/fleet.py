@@ -261,7 +261,8 @@ class Fleet:
                  tracing: bool = False, trace_limit: int | None = None,
                  op_latency_us: float = 0.0,
                  word_latency_us: float = 0.0,
-                 weights: dict | None = None):
+                 weights: dict | None = None,
+                 telemetry=None):
         from ..obs.workloads import bind_stubs
 
         if not devices:
@@ -292,6 +293,15 @@ class Fleet:
         self.scheduler = SCHEDULERS[policy](self.sessions)
         self.pool = WorkerPool(workers, queue_depth=queue_depth)
         self.submitted = 0
+        #: Live telemetry plane (``None`` = off; ``True`` builds one).
+        #: Kept entirely off the request path: an untelemetered submit
+        #: pays a single ``is None`` test.
+        if telemetry is True:
+            from ..obs.live import FleetTelemetry
+
+            telemetry = FleetTelemetry()
+        self.telemetry = telemetry or None
+        self._health = None
 
     # -- request flow ---------------------------------------------------
 
@@ -304,12 +314,34 @@ class Fleet:
         """
         session = self.scheduler.acquire(spec)
         scheduler = self.scheduler
+        telemetry = self.telemetry
 
-        def work():
-            try:
-                session.execute(request)
-            finally:
-                scheduler.release(session)
+        if telemetry is None:
+            def work():
+                try:
+                    session.execute(request)
+                finally:
+                    scheduler.release(session)
+        else:
+            from .requests import request_label
+
+            label = request_label(request)
+            submitted_at = time.perf_counter()
+            telemetry.note_submit("thread", spec, session.label, label)
+
+            def work():
+                worker = threading.current_thread().name
+                telemetry.request_begin(worker, "thread", label)
+                error = None
+                try:
+                    session.execute(request)
+                except BaseException as exc:
+                    error = exc
+                    raise
+                finally:
+                    scheduler.release(session)
+                    telemetry.request_done(worker, "thread", spec,
+                                           submitted_at, error)
 
         self.pool.submit(work)
         self.submitted += 1
@@ -354,7 +386,17 @@ class Fleet:
 
     def drain(self) -> None:
         """Wait until every submitted request finished; re-raise errors."""
-        self.pool.drain()
+        try:
+            self.pool.drain()
+        except BaseException as exc:
+            if self.telemetry is not None:
+                self.telemetry.recorder.record("drain",
+                                               error=repr(exc))
+                self.telemetry.dump("drain-error")
+            raise
+        if self.telemetry is not None:
+            self.telemetry.recorder.record("drain",
+                                           submitted=self.submitted)
 
     def shutdown(self) -> None:
         self.pool.shutdown()
@@ -392,3 +434,32 @@ class Fleet:
 
     def completed(self) -> int:
         return sum(session.completed for session in self.sessions)
+
+    # -- live telemetry plumbing ----------------------------------------
+
+    def worker_liveness(self) -> dict[str, bool]:
+        """``worker name -> is it still running`` (health's "dead")."""
+        return {thread.name: thread.is_alive()
+                for thread in self.pool._threads}
+
+    def queue_depths(self) -> dict[str, int | None]:
+        """Pending-work depth per worker (threads share one queue)."""
+        depth = self.pool._queue.qsize()
+        return {thread.name: depth for thread in self.pool._threads}
+
+    def batch_occupancy(self) -> dict[str, int]:
+        """Batch-buffer occupancy (always 0: threads have no transport)."""
+        return {thread.name: 0 for thread in self.pool._threads}
+
+    def health_view(self, **kwargs):
+        """The :class:`repro.obs.live.FleetHealth` view of this fleet.
+
+        Built on first call (keyword arguments configure the stall
+        detector then); later calls return the same instance so status
+        transitions are tracked consistently.
+        """
+        if self._health is None:
+            from ..obs.live import FleetHealth
+
+            self._health = FleetHealth(self, **kwargs)
+        return self._health

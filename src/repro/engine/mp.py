@@ -80,8 +80,9 @@ from .fleet import LatencyBus, fleet_layout, map_fleet_device, \
 from .pool import WorkerError
 from .requests import decode_request, encode_request
 from .scheduler import DETERMINISTIC_POLICIES, SCHEDULERS
-from .shm import DEFAULT_RING_BYTES, MIN_RING_BYTES, ShmRing, \
-    attach_ring_memory, create_ring_memory
+from .shm import DEFAULT_RING_BYTES, MIN_RING_BYTES, HeartbeatSlot, \
+    ShmRing, attach_ring_memory, create_heartbeat_memory, \
+    create_ring_memory
 
 #: Default seconds to wait for one worker's sync report before
 #: declaring it wedged (each report is one queue message; a healthy
@@ -124,6 +125,9 @@ class _WorkerConfig:
     #: Memoize token -> callable resolutions (off reproduces the
     #: original per-request decode, for benchmark baselines).
     codec_cache: bool = True
+    #: Shared-memory heartbeat slot name (None: live telemetry off —
+    #: the worker publishes nothing and observes no latencies).
+    heartbeat_name: str | None = None
 
 
 @dataclass
@@ -168,6 +172,13 @@ def _build_worker_bus(config: _WorkerConfig):
                          trace_limit=config.trace_limit)
 
 
+def _token_label(token) -> str:
+    """Cheap human-readable name for a wire token (heartbeats only)."""
+    if isinstance(token, tuple):
+        return _token_label(token[1]) + "(...)"
+    return token.rpartition(":")[2]
+
+
 def _worker_main(config: _WorkerConfig, requests, results) -> None:
     """Worker process entry point: build the slice, serve the queue.
 
@@ -191,6 +202,7 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
     the parent fails fast instead of timing out.
     """
     ring = None
+    pulse_slot = None
     try:
         from .. import obs
 
@@ -215,10 +227,20 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
             if collector is not None:
                 collector.register_ports(
                     spec, getattr(stubs, "_obs_ports", {}))
-            sessions.append((label, stubs, aux))
+            sessions.append((label, spec, stubs, aux))
             completed[label] = 0
 
         name = f"pfleet-w{config.worker_id}"
+        pulse = None
+        latency: dict[str, object] = {}
+        if config.heartbeat_name is not None:
+            from ..obs.live import WorkerPulse
+            from ..obs.metrics import LATENCY_BUCKETS_US, Histogram
+
+            pulse_slot = HeartbeatSlot(
+                attach_ring_memory(config.heartbeat_name))
+            pulse = WorkerPulse(pulse_slot, name, "process")
+            pulse.idle()  # visible before the first request arrives
         errors: list[tuple[str, str, str]] = []
         #: Records that did not fit the ring since the last sync; once
         #: one spills, everything after it spills too, so the parent
@@ -240,13 +262,36 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
             return request
 
         def execute(local_index, token) -> None:
-            label, stubs, aux = sessions[local_index]
+            label, spec, stubs, aux = sessions[local_index]
+            if pulse is None:
+                try:
+                    resolve(token)(stubs, aux)
+                    completed[label] += 1
+                except BaseException as exc:  # noqa: BLE001 - at drain
+                    errors.append((f"{name}/{label}", repr(exc),
+                                   traceback.format_exc()))
+                return
+            # Telemetry path: bracket the request with heartbeats and
+            # observe its execution latency into a per-spec histogram
+            # shipped at the next sync.  Device work is untouched.
+            pulse.begin(_token_label(token))
+            started = time.perf_counter()
+            failed = False
             try:
                 resolve(token)(stubs, aux)
                 completed[label] += 1
             except BaseException as exc:  # noqa: BLE001 - at drain
+                failed = True
                 errors.append((f"{name}/{label}", repr(exc),
                                traceback.format_exc()))
+            elapsed_us = (time.perf_counter() - started) * 1e6
+            histogram = latency.get(spec)
+            if histogram is None:
+                histogram = latency[spec] = Histogram(
+                    "fleet.request_us", {}, LATENCY_BUCKETS_US)
+            histogram.observe(elapsed_us)
+            pulse.done(elapsed_us, error=failed,
+                       trace_dropped=bus.trace_dropped)
 
         def ship(record) -> None:
             """Ring if possible, in-order spill to the queue if not."""
@@ -296,7 +341,14 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
                     "trace": list(bus.trace),
                     "trace_dropped": bus.trace_dropped,
                     "spans": spans,
+                    # Latency histograms observed since the last sync
+                    # (deltas, so the parent's merge never double
+                    # counts); empty without live telemetry.
+                    "latency": {spec: histogram.snapshot()
+                                for spec, histogram
+                                in latency.items()},
                 }
+                latency.clear()
                 payload = {"errors": list(errors), "report": None,
                            "ring_end": None, "spilled": ()}
                 errors.clear()
@@ -317,6 +369,8 @@ def _worker_main(config: _WorkerConfig, requests, results) -> None:
     finally:
         if ring is not None:
             ring.close()
+        if pulse_slot is not None:
+            pulse_slot.close()
 
 
 class ProcessFleet:
@@ -367,7 +421,8 @@ class ProcessFleet:
                  batch_size: int | str = 1,
                  flush_us: float = DEFAULT_FLUSH_US,
                  ring_bytes: int = DEFAULT_RING_BYTES,
-                 codec_cache: bool = True):
+                 codec_cache: bool = True,
+                 telemetry=None):
         from .. import obs
 
         if not devices:
@@ -413,6 +468,15 @@ class ProcessFleet:
         self.collector = (collector or obs.Collector()) if observe \
             else None
 
+        #: Live telemetry plane (``None`` = off; ``True`` builds one).
+        if telemetry is True:
+            from ..obs.live import FleetTelemetry
+
+            telemetry = FleetTelemetry()
+        self.telemetry = telemetry or None
+        self._health = None
+        self._heartbeat_slots: list[HeartbeatSlot] = []
+
         # Shard devices across workers; layout (labels, slots) is the
         # global one, shared with the thread backend.
         per_worker: list[list] = [[] for _ in range(self.workers)]
@@ -445,6 +509,13 @@ class ProcessFleet:
         self._pending_since: list[float | None] = \
             [None] * self.workers
         for worker_id in range(self.workers):
+            heartbeat_name = None
+            if self.telemetry is not None:
+                slot = HeartbeatSlot(create_heartbeat_memory())
+                self._heartbeat_slots.append(slot)
+                self.telemetry.attach_reader(f"pfleet-w{worker_id}",
+                                             slot)
+                heartbeat_name = slot.memory.name
             config = _WorkerConfig(
                 worker_id=worker_id,
                 devices=tuple(per_worker[worker_id]),
@@ -455,7 +526,8 @@ class ProcessFleet:
                 observe=observe,
                 ring_name=self._rings[worker_id].memory.name
                 if self._rings is not None else None,
-                codec_cache=codec_cache)
+                codec_cache=codec_cache,
+                heartbeat_name=heartbeat_name)
             requests = context.Queue(maxsize=queue_depth)
             process = context.Process(
                 target=_worker_main,
@@ -489,6 +561,9 @@ class ProcessFleet:
         session.assigned += 1
         self.submitted += 1
         self._dirty = True
+        if self.telemetry is not None:
+            self.telemetry.note_submit("process", spec, session.label,
+                                       _token_label(token))
         return session
 
     def _flush_worker(self, worker: int) -> None:
@@ -500,6 +575,10 @@ class ProcessFleet:
             self._queues[worker].put(("req", local_index, token))
         else:
             self._queues[worker].put(("batch", tuple(pending)))
+            if self.telemetry is not None:
+                self.telemetry.recorder.record(
+                    "batch-flush", worker=f"pfleet-w{worker}",
+                    count=len(pending))
         pending.clear()
         self._pending_since[worker] = None
 
@@ -567,7 +646,14 @@ class ProcessFleet:
         """Quiesce every worker and merge its report; re-raise errors."""
         if self._dirty or not self._reports:
             self._collect_reports()
-        self._raise_failures()
+        try:
+            self._raise_failures()
+        except WorkerError as exc:
+            if self.telemetry is not None:
+                self.telemetry.recorder.record("drain",
+                                               error=repr(exc))
+                self.telemetry.dump("drain-error")
+            raise
 
     def _absorb_ring(self, worker_id: int, sync_id: int,
                      payload: dict):
@@ -596,6 +682,8 @@ class ProcessFleet:
     def _collect_reports(self) -> None:
         self._flush_pending()
         sync_id = next(self._sync_ids)
+        if self.telemetry is not None:
+            self.telemetry.recorder.record("sync", sync_id=sync_id)
         for requests in self._queues:
             requests.put(("sync", sync_id))
         pending = set(range(self.workers))
@@ -605,6 +693,13 @@ class ProcessFleet:
             except queue_module.Empty:
                 dead = [f"pfleet-w{i}" for i in pending
                         if not self._processes[i].is_alive()]
+                if self.telemetry is not None:
+                    self.telemetry.recorder.record(
+                        "worker-error",
+                        worker=", ".join(dead) or None,
+                        error="sync timeout",
+                        pending=len(pending))
+                    self.telemetry.dump("sync-timeout")
                 raise WorkerError([(
                     ", ".join(dead) or f"pfleet ({len(pending)} pending)",
                     RuntimeError(
@@ -620,6 +715,11 @@ class ProcessFleet:
                 self._failures.append(
                     (f"pfleet-w{worker_id}",
                      RuntimeError("worker process crashed"), formatted))
+                if self.telemetry is not None:
+                    self.telemetry.recorder.record(
+                        "worker-error", worker=f"pfleet-w{worker_id}",
+                        error="worker process crashed")
+                    self.telemetry.dump(f"crash:pfleet-w{worker_id}")
                 continue
             _, worker_id, got_sync, payload = message
             if self._rings is not None \
@@ -635,6 +735,11 @@ class ProcessFleet:
                 self._failures.append(failure)
             if self.collector is not None and report["spans"]:
                 self.collector.ingest(report["spans"])
+            if self.telemetry is not None:
+                for spec, snapshot in report.get("latency",
+                                                 {}).items():
+                    self.telemetry.merge_latency(spec, "process",
+                                                 snapshot)
         for session in self.sessions:
             report = self._reports.get(session.worker)
             if report is not None:
@@ -679,6 +784,13 @@ class ProcessFleet:
                 ring.close()
                 ring.unlink()
             self._rings = None
+        for slot in self._heartbeat_slots:
+            slot.close()
+            slot.unlink()
+        self._heartbeat_slots = []
+        if self.telemetry is not None:
+            self.telemetry.recorder.record("shutdown",
+                                           submitted=self.submitted)
         if sync_error is not None:
             raise sync_error
         self._raise_failures()
@@ -768,3 +880,39 @@ class ProcessFleet:
 
     def sessions_of(self, spec: str) -> list[ProcessSession]:
         return [s for s in self.sessions if s.spec == spec]
+
+    # -- live telemetry plumbing ----------------------------------------
+
+    def worker_liveness(self) -> dict[str, bool]:
+        """``worker name -> is the process alive`` (health's "dead")."""
+        return {f"pfleet-w{worker_id}": process.is_alive()
+                for worker_id, process in enumerate(self._processes)}
+
+    def queue_depths(self) -> dict[str, int | None]:
+        """Request-queue depth per worker (approximate by nature;
+        ``None`` where the platform's ``qsize`` is unimplemented)."""
+        depths: dict[str, int | None] = {}
+        for worker_id, requests in enumerate(self._queues):
+            try:
+                depths[f"pfleet-w{worker_id}"] = requests.qsize()
+            except NotImplementedError:  # macOS
+                depths[f"pfleet-w{worker_id}"] = None
+        return depths
+
+    def batch_occupancy(self) -> dict[str, int]:
+        """Parent-side buffered placements per worker (batching)."""
+        return {f"pfleet-w{worker_id}": len(pending)
+                for worker_id, pending in enumerate(self._pending)}
+
+    def health_view(self, **kwargs):
+        """The :class:`repro.obs.live.FleetHealth` view of this fleet.
+
+        Built on first call (keyword arguments configure the stall
+        detector then); later calls return the same instance so status
+        transitions are tracked consistently.
+        """
+        if self._health is None:
+            from ..obs.live import FleetHealth
+
+            self._health = FleetHealth(self, **kwargs)
+        return self._health

@@ -43,6 +43,7 @@ from __future__ import annotations
 import functools
 import importlib
 import pickle
+import time
 
 
 def ide_sector_read(stubs, aux):
@@ -147,6 +148,21 @@ def ide_sector_checksum(stubs, aux):
         for word in data:
             accumulator = (accumulator * 31 + word) & 0xFFFFFFFF
     return accumulator
+
+
+def wedged_request(stubs, aux, seconds=2.0):
+    """Deliberately wedge the executing worker for ``seconds``.
+
+    Fault injection for the live telemetry plane: the request touches
+    no device state (so it perturbs no parity check) but blocks inside
+    the worker long enough for :class:`repro.obs.live.FleetHealth` to
+    flag the worker ``stalled`` — it cannot heartbeat while stuck in
+    user code, which is exactly the signal the detector keys on.
+    Module-level so ``functools.partial(wedged_request, seconds=...)``
+    ships to process workers through the request codec.
+    """
+    time.sleep(seconds)
+    return seconds
 
 
 #: The benchmark's mixed fleet: ``spec -> request``.

@@ -103,9 +103,11 @@ def run_stress(devices, schedule, workers: int = 8,
 
     With ``tracing=True`` both runs also assert that no trace entries
     were dropped (the unbounded ring must capture every port op).
-    Extra ``fleet_kwargs`` (``batch_size``, ``ring_bytes``, ...) reach
-    the parallel fleet only — the reference stays the canonical
-    single-threaded run.
+    Extra ``fleet_kwargs`` (``batch_size``, ``ring_bytes``,
+    ``telemetry``, ...) reach the parallel fleet only — the reference
+    stays the canonical single-threaded run.  ``telemetry=True`` is
+    how the live-plane parity tests prove heartbeats, latency
+    histograms and the flight recorder never perturb device state.
 
     Returns the reference evidence — pass it back as ``reference`` on
     a later call to amortize the serial run across repeated stress

@@ -49,8 +49,22 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from .export import hot_report, to_chrome_trace, to_jsonl
-from .metrics import Counter, Histogram, MetricsRegistry
+from .export import (
+    JsonlSnapshotSink,
+    hot_report,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+from .live import (
+    FleetHealth,
+    FleetTelemetry,
+    FlightRecorder,
+    Heartbeat,
+    LiveMonitor,
+    WorkerHealth,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import (
     BusObserver,
     Collector,
@@ -64,11 +78,13 @@ from .spans import (
 )
 
 __all__ = [
-    "BusObserver", "Collector", "Counter", "Histogram", "IoEvent",
-    "MetricsRegistry", "Span", "disable", "enable", "hot_report",
-    "instrument_instance", "is_enabled", "model_port_map", "observe",
-    "port_map", "stub_catalog", "to_chrome_trace", "to_jsonl",
-    "wrap_stub",
+    "BusObserver", "Collector", "Counter", "FleetHealth",
+    "FleetTelemetry", "FlightRecorder", "Gauge", "Heartbeat",
+    "Histogram", "IoEvent", "JsonlSnapshotSink", "LiveMonitor",
+    "MetricsRegistry", "Span", "WorkerHealth", "disable", "enable",
+    "hot_report", "instrument_instance", "is_enabled",
+    "model_port_map", "observe", "port_map", "stub_catalog",
+    "to_chrome_trace", "to_jsonl", "to_prometheus", "wrap_stub",
 ]
 
 #: Module-level master switch, consulted at bind time.

@@ -1,6 +1,6 @@
-"""Trace exporters: JSONL, Chrome ``trace_event`` and text profiles.
+"""Trace exporters: JSONL, Chrome ``trace_event``, Prometheus, text.
 
-Three consumers, three formats:
+Five consumers, five formats:
 
 * :func:`to_jsonl` — one span per line, schema-checked in CI against
   ``docs/trace_schema.json``; the stable machine interface.
@@ -9,6 +9,12 @@ Three consumers, three formats:
   ``about:tracing``: spans become complete (``"ph": "X"``) events on
   one track per device, with the attributed port I/O and fired actions
   in ``args``.
+* :func:`to_prometheus` — the registry rendered in the Prometheus
+  text exposition format (version 0.0.4), zero-dependency, so a
+  fleet daemon can serve ``/metrics`` with nothing but a socket.
+* :class:`JsonlSnapshotSink` — a registry sink writing one
+  ``{"record": "metrics", ...}`` line per flush; the periodic
+  snapshot feed behind ``devil fleet --health-log``.
 * :func:`hot_report` — a "hot variables" text profile (top device
   variables by calls, I/O operations and time) plus the metrics
   rollups, for terminals and commit-able results files.
@@ -17,6 +23,7 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import time
 from typing import IO, Iterable
 
 from .metrics import MetricsRegistry
@@ -85,6 +92,113 @@ def to_chrome_trace(spans: Iterable[Span]) -> dict:
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.obs (Devil reproduction)"},
     }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    """``var.io_ops`` → ``devil_var_io_ops`` (+ conventional suffix)."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    return f"devil_{cleaned}{suffix}"
+
+
+def _prom_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(
+            key,
+            str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+        for key, value in sorted(labels.items()))
+    return "{" + rendered + "}"
+
+
+def to_prometheus(metrics: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters get the conventional ``_total`` suffix, histograms emit
+    *cumulative* ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+    gauges render as-is.  Output is deterministic (sorted snapshot
+    order) and ends with a newline as the format requires.
+    """
+    by_name: dict[tuple[str, str], list[dict]] = {}
+    for row in metrics.snapshot():
+        by_name.setdefault((row["type"], row["name"]), []).append(row)
+
+    lines: list[str] = []
+    for (kind, name), rows in sorted(by_name.items()):
+        if kind == "counter":
+            base = _prom_name(name, "_total")
+            lines.append(f"# TYPE {base} counter")
+            for row in rows:
+                lines.append(
+                    f"{base}{_prom_labels(row['labels'])} {row['value']}")
+        elif kind == "gauge":
+            base = _prom_name(name)
+            lines.append(f"# TYPE {base} gauge")
+            for row in rows:
+                lines.append(
+                    f"{base}{_prom_labels(row['labels'])} {row['value']}")
+        else:  # histogram
+            base = _prom_name(name)
+            lines.append(f"# TYPE {base} histogram")
+            for row in rows:
+                bounds = sorted((float(bound), count) for bound, count
+                                in row["buckets"].items()
+                                if bound != "+Inf")
+                cumulative = 0
+                for bound, count in bounds:
+                    cumulative += count
+                    labels = _prom_labels(
+                        {**row["labels"], "le": f"{bound:g}"})
+                    lines.append(f"{base}_bucket{labels} {cumulative}")
+                labels = _prom_labels({**row["labels"], "le": "+Inf"})
+                lines.append(f"{base}_bucket{labels} {row['count']}")
+                plain = _prom_labels(row["labels"])
+                lines.append(f"{base}_sum{plain} {row['sum']}")
+                lines.append(f"{base}_count{plain} {row['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Periodic JSONL metrics snapshots
+# ---------------------------------------------------------------------------
+
+
+class JsonlSnapshotSink:
+    """A registry sink appending one JSON line per flush.
+
+    Registered via :meth:`MetricsRegistry.add_sink`, each
+    ``registry.flush()`` appends::
+
+        {"record": "metrics", "ts_us": ..., "metrics": [...]}
+
+    — a record shape ``docs/trace_schema.json`` admits, so health logs
+    interleave with heartbeat/event/health records in one stream and
+    still validate.  Accepts an open text stream or a path (opened in
+    append mode per write, so log rotation stays safe).
+    """
+
+    def __init__(self, target: IO[str] | str):
+        self._target = target
+        self.writes = 0
+
+    def __call__(self, snapshot: list[dict]) -> None:
+        line = json.dumps({"record": "metrics",
+                           "ts_us": time.time() * 1e6,
+                           "metrics": snapshot},
+                          sort_keys=True) + "\n"
+        if isinstance(self._target, str):
+            with open(self._target, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        else:
+            self._target.write(line)
+        self.writes += 1
 
 
 # ---------------------------------------------------------------------------

@@ -2,9 +2,11 @@
 
 Implements exactly the JSON-Schema subset ``docs/trace_schema.json``
 uses — ``type`` (with union lists), ``enum``, ``required``,
-``properties``, ``additionalProperties: false``, ``items`` and
-``minimum`` — so CI can assert the machine interface of
-``devil trace --format=jsonl`` without installing ``jsonschema``.
+``properties``, ``additionalProperties: false``, ``items``,
+``minimum`` and ``oneOf`` — so CI can assert the machine interface of
+``devil trace --format=jsonl`` (and the live plane's heartbeat /
+health / metrics / flight-recorder records) without installing
+``jsonschema``.
 
 Usage::
 
@@ -17,7 +19,12 @@ first violation.
 from __future__ import annotations
 
 import json
+import pathlib
 import sys
+
+#: Repo-relative location of the shipped record schema.
+DEFAULT_SCHEMA = (pathlib.Path(__file__).resolve().parents[3]
+                  / "docs" / "trace_schema.json")
 
 _TYPES = {
     "object": dict,
@@ -32,6 +39,12 @@ _TYPES = {
 
 class SchemaViolation(ValueError):
     """The instance does not conform to the schema."""
+
+
+def load_schema(path=None) -> dict:
+    """Load a schema file (defaults to ``docs/trace_schema.json``)."""
+    with open(path or DEFAULT_SCHEMA, encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def _check_type(instance, expected: str, path: str) -> None:
@@ -51,6 +64,18 @@ def _check_type(instance, expected: str, path: str) -> None:
 
 def validate(instance, schema: dict, path: str = "$") -> None:
     """Raise :class:`SchemaViolation` unless ``instance`` conforms."""
+    if "oneOf" in schema:
+        failures = []
+        for index, alternative in enumerate(schema["oneOf"]):
+            try:
+                validate(instance, alternative, path)
+                return
+            except SchemaViolation as error:
+                title = alternative.get("title", f"alternative {index}")
+                failures.append(f"[{title}] {error}")
+        raise SchemaViolation(
+            f"{path}: no oneOf alternative matched: "
+            + "; ".join(failures))
     if "enum" in schema:
         if instance not in schema["enum"]:
             raise SchemaViolation(

@@ -161,6 +161,56 @@ def test_backend_parity_mixed_fleet_with_txn_and_cpu_requests():
     assert process["accounting"].coalesced_writes > 0
 
 
+@pytest.mark.parametrize("backend", ("thread", "process"))
+def test_backend_parity_with_telemetry_enabled(backend):
+    """The live telemetry plane (heartbeats, latency histograms,
+    flight recorder) is pure observation: a fleet running with
+    ``telemetry=True`` stays byte-equal to the untelemetered serial
+    reference — end-state, accounting, spans and per-device traces."""
+    spec = "ide"
+    devices = [spec, spec]
+    schedule = [(spec, WORKLOADS[spec])] * 6
+    serial, _ = _spec_references(spec)
+    evidence = _run_backend(backend, devices, schedule, telemetry=True)
+    assert evidence["completed"] == serial["completed"]
+    assert evidence["by_device"] == serial["by_device"]
+    assert evidence["accounting"] == serial["accounting"]
+    for name, blob in serial["states"].items():
+        assert evidence["states"][name] == blob, \
+            f"telemetry perturbed the end-state of {name!r}"
+    assert evidence["signatures"] == serial["signatures"]
+    for _, label, slot in fleet_layout(devices):
+        assert _device_trace(evidence["trace"], slot) == \
+            _device_trace(serial["trace"], slot), \
+            f"telemetry perturbed the trace of {label}"
+
+
+def test_process_fleet_telemetry_merges_worker_latency():
+    """Worker-observed request latency crosses the process boundary
+    as delta snapshots at sync points and folds into the parent's
+    registry; live heartbeats carry each worker's own percentiles."""
+    from repro.engine import MIXED_REQUESTS
+
+    with ProcessFleet(["ide", "permedia2"], workers=2,
+                      telemetry=True) as fleet:
+        for _ in range(4):
+            fleet.submit("ide", MIXED_REQUESTS["ide"])
+            fleet.submit("permedia2", MIXED_REQUESTS["permedia2"])
+        fleet.drain()
+        telemetry = fleet.telemetry
+        merged = {tuple(sorted(h.labels.items())): h.count
+                  for h in telemetry.metrics.find("fleet.request_us")}
+        assert merged[(("backend", "process"), ("spec", "ide"))] == 4
+        assert merged[(("backend", "process"),
+                       ("spec", "permedia2"))] == 4
+        beats = telemetry.heartbeats()
+        assert set(beats) == {"pfleet-w0", "pfleet-w1"}
+        for beat in beats.values():
+            assert beat.completed == 4
+            assert beat.inflight is None
+            assert beat.latency_p95_us > 0.0
+
+
 @pytest.mark.parametrize("strategy", ("interpret", "generated"))
 def test_process_backend_strategy_parity(strategy):
     """The process backend is exact under the non-default execution

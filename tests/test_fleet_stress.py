@@ -131,3 +131,64 @@ def test_run_stress_flags_dropped_trace_entries():
     with pytest.raises(AssertionError, match="dropped"):
         run_stress(DEVICES, schedule, workers=2, tracing=True,
                    trace_limit=5)
+
+
+# ---------------------------------------------------------------------------
+# Live-plane fault injection: a wedged process worker
+# ---------------------------------------------------------------------------
+
+
+def test_process_wedged_worker_reported_stalled(tmp_path):
+    """Deterministic stall detection: a process worker wedged inside a
+    request is reported ``stalled`` within the detector window, the
+    flight recorder auto-dumps a post-mortem, and the fleet still
+    drains cleanly (and recovers) once the wedge releases."""
+    import functools
+    import json
+    import time
+
+    from repro.engine import MIXED_REQUESTS, ProcessFleet, \
+        wedged_request
+    from repro.obs.validate import load_schema, validate
+
+    dump = tmp_path / "flight.jsonl"
+    fleet = ProcessFleet(["ide", "permedia2"], workers=2,
+                         telemetry=True)
+    fleet.telemetry.dump_path = str(dump)
+    with fleet:
+        # Devices shard index % workers: "ide" lands on pfleet-w0.
+        health = fleet.health_view(stall_after=0.3)
+        fleet.submit("ide", functools.partial(wedged_request,
+                                              seconds=2.0))
+        for _ in range(4):
+            fleet.submit("permedia2", MIXED_REQUESTS["permedia2"])
+
+        deadline = time.monotonic() + 15.0
+        statuses = {}
+        while time.monotonic() < deadline:
+            statuses = health.statuses()
+            if statuses.get("pfleet-w0") == "stalled":
+                break
+            time.sleep(0.05)
+        assert statuses.get("pfleet-w0") == "stalled", statuses
+        assert statuses.get("pfleet-w1") == "healthy", statuses
+
+        kinds = [event.kind for event
+                 in fleet.telemetry.recorder.events()]
+        assert "stall" in kinds
+        assert "dump" in kinds
+        assert dump.exists()
+
+        fleet.drain()  # the wedge releases; nothing was lost
+        assert health.statuses()["pfleet-w0"] == "healthy"
+        kinds = [event.kind for event
+                 in fleet.telemetry.recorder.events()]
+        assert "recovered" in kinds
+        assert fleet.completed() == 5
+
+    schema = load_schema()
+    records = [json.loads(line)
+               for line in dump.read_text().splitlines()]
+    assert any(record["kind"] == "stall" for record in records)
+    for record in records:
+        validate(record, schema)
