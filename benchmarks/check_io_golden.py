@@ -52,8 +52,22 @@ def _profile(accounting) -> dict:
             for counter in COUNTERS}
 
 
+def _native_checkable() -> bool:
+    from repro.devil.native import native_available
+    return native_available()
+
+
 def measure() -> dict:
-    """The current I/O profile of every workload, parity-checked."""
+    """The current I/O profile of every workload, parity-checked.
+
+    When a C compiler is present, the ``native`` strategy is
+    cross-checked against the same interpreter reference for every
+    plain (non-shadow, non-transactional) workload — it never changes
+    the pinned numbers, it must merely match them.  The shadow-cache
+    and transactional variants are interpreter-family features the
+    native binding rejects by design, so they stay three-strategy.
+    """
+    check_native = _native_checkable()
     table: dict = {"workloads": {}, "txn_workloads": {}}
     suites = (("workloads", WORKLOADS, run_workload),
               ("txn_workloads", TXN_WORKLOADS, run_txn_workload))
@@ -61,10 +75,14 @@ def measure() -> dict:
         for name in sorted(drivers):
             row: dict = {}
             for label, shadow in (("plain", False), ("shadow", True)):
+                strategies = list(STRATEGIES)
+                if check_native and section == "workloads" \
+                        and not shadow:
+                    strategies.append("native")
                 profiles = {
                     strategy: _profile(
                         runner(name, strategy, shadow_cache=shadow)[2])
-                    for strategy in STRATEGIES}
+                    for strategy in strategies}
                 reference = profiles["interpret"]
                 for strategy, profile in profiles.items():
                     if profile != reference:
@@ -191,8 +209,10 @@ def main(argv: list[str] | None = None) -> int:
               "--write")
         return 1
     total = sum(len(golden[section]) for section in golden)
+    native_note = " + native cross-check" if _native_checkable() \
+        else " (native skipped: no C compiler)"
     print(f"io golden: {total} workload profiles match "
-          f"({len(STRATEGIES)} strategies each)")
+          f"({len(STRATEGIES)} strategies each{native_note})")
     return 0
 
 

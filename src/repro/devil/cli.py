@@ -5,6 +5,11 @@ Usage::
     devilc check  SPEC.devil             verify only, report diagnostics
     devilc c      SPEC.devil [-o OUT]    emit the C stub header
     devilc python SPEC.devil [-o OUT]    emit the Python stub module
+    devilc compile SPEC.devil --backend c --debug -o FILE
+                                         emit any backend to disk
+                                         (--shim adds the native
+                                         runtime shim, for kernel-style
+                                         out-of-tree builds)
     devilc dump   SPEC.devil             print the resolved model
     devilc trace  NAME [--format=...]    replay a shipped driver
                                          workload with telemetry
@@ -92,6 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--debug", action="store_true",
                              help="force DEVIL_DEBUG on")
 
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="emit a code-generation backend, selected by --backend")
+    compile_cmd.add_argument("spec", help="path to the .devil source")
+    compile_cmd.add_argument("--backend", default="c",
+                             choices=("c", "python", "doc", "pyi"),
+                             help="artifact to emit: C stub header "
+                                  "(default), Python stub module, "
+                                  "Markdown datasheet, or .pyi typing "
+                                  "stubs for bound device APIs")
+    compile_cmd.add_argument("-o", "--output",
+                             help="output file (default: stdout)")
+    compile_cmd.add_argument("--prefix",
+                             help="C backend: stub name prefix "
+                                  "(default: device name)")
+    compile_cmd.add_argument("--debug", action="store_true",
+                             help="C backend: force DEVIL_DEBUG on")
+    compile_cmd.add_argument("--shim", metavar="FILE",
+                             help="C backend: also write the native "
+                                  "runtime shim (port-table dispatch, "
+                                  "accounting, trace ring) to FILE; "
+                                  "compile it with the header on its "
+                                  "include path to get the "
+                                  "strategy='native' library")
+
     trace = commands.add_parser(
         "trace",
         help="replay a shipped driver workload with telemetry on")
@@ -99,10 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shipped spec name (e.g. busmouse, ide)")
     trace.add_argument("--strategy", default="interpret",
                        choices=("interpret", "specialize", "generated",
-                                "all"),
+                                "native", "all"),
                        help="execution strategy to trace (default: "
-                            "interpret; 'all' runs every strategy "
-                            "back-to-back)")
+                            "interpret; 'native' needs a C compiler; "
+                            "'all' runs every strategy back-to-back)")
     trace.add_argument("--format", default="chrome",
                        choices=("jsonl", "chrome", "report", "summary"),
                        help="chrome: Perfetto-loadable trace_event "
@@ -153,8 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "the process backend needs a "
                             "deterministic one)")
     fleet.add_argument("--strategy", default="specialize",
-                       choices=("interpret", "specialize", "generated"),
-                       help="execution strategy (default: specialize)")
+                       choices=("interpret", "specialize", "generated",
+                                "native", "auto"),
+                       help="execution strategy (default: specialize; "
+                            "'native' needs a C compiler, 'auto' "
+                            "falls back to specialize without one)")
     fleet.add_argument("--latency-us", type=float, default=20.0,
                        help="sleeping port latency charged per bus op "
                             "(default: 20.0; 0 disables)")
@@ -194,7 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "least-loaded"),
                      help="dispatch policy (default: round-robin)")
     top.add_argument("--strategy", default="specialize",
-                     choices=("interpret", "specialize", "generated"),
+                     choices=("interpret", "specialize", "generated",
+                              "native", "auto"),
                      help="execution strategy (default: specialize)")
     top.add_argument("--latency-us", type=float, default=20.0,
                      help="sleeping port latency per bus op "
@@ -242,7 +276,32 @@ def _run(arguments) -> int:
         print(_dump_model(spec.model))
         return 0
 
-    if arguments.command == "c":
+    if arguments.command == "compile":
+        backend = arguments.backend
+        if backend == "c":
+            text = spec.emit_c(prefix=arguments.prefix,
+                               debug=arguments.debug)
+        elif backend == "python":
+            text = spec.emit_python()
+        elif backend == "pyi":
+            from .codegen.pyi_backend import generate_pyi
+            text = generate_pyi(spec.model)
+        else:
+            text = spec.emit_doc()
+        if arguments.shim:
+            if backend != "c":
+                print("--shim only applies to --backend c",
+                      file=sys.stderr)
+                return 1
+            from .native import generate_shim
+            header_name = (arguments.output
+                           and arguments.output.rsplit("/", 1)[-1]) \
+                or f"{spec.name}.dil.h"
+            with open(arguments.shim, "w", encoding="utf-8") as handle:
+                handle.write(generate_shim(spec.model,
+                                           prefix=arguments.prefix,
+                                           header_name=header_name))
+    elif arguments.command == "c":
         text = spec.emit_c(prefix=arguments.prefix,
                            debug=arguments.debug)
     elif arguments.command == "doc":

@@ -34,6 +34,8 @@ simulated bus):
 
 from __future__ import annotations
 
+import threading
+
 from ..errors import DevilCodegenError
 from ..model import (
     ParamRef,
@@ -48,14 +50,59 @@ from ..model import (
 from ..types import BoolType, EnumType, IntSetType, IntType
 
 
+# Bump whenever the emitted C changes shape: the native build cache keys
+# compiled shared libraries on this value, so stale .so files from an
+# older emitter are never dlopen'ed against a newer state-struct layout.
+CODEGEN_VERSION = 2
+
+_HEADER_MEMO_LOCK = threading.Lock()
+
+
 def generate_c_header(device: ResolvedDevice, prefix: str | None = None,
                       debug: bool = False) -> str:
     """Emit the C stub header for ``device``.
 
     ``prefix`` defaults to the device name; ``debug`` forces
     ``DEVIL_DEBUG`` on regardless of the including file.
+
+    Emission is memoized per resolved device (same double-checked-lock
+    pattern as ``repro.specs.compile_shipped``): a fleet binding N
+    native instances of one spec emits the header once, not N times.
+    Resolved devices are treated as immutable once emitted.
     """
-    return _CWriter(device, prefix or device.name, force_debug=debug).emit()
+    key = (prefix or device.name, bool(debug))
+    memo = device.__dict__.get("_c_header_memo")
+    if memo is not None:
+        header = memo.get(key)
+        if header is not None:
+            return header
+    with _HEADER_MEMO_LOCK:
+        memo = device.__dict__.get("_c_header_memo")
+        if memo is None:
+            memo = {}
+            device.__dict__["_c_header_memo"] = memo
+        header = memo.get(key)
+        if header is None:
+            header = _CWriter(device, key[0], force_debug=debug).emit()
+            memo[key] = header
+    return header
+
+
+def c_value_cast(prefix: str, variable: ResolvedVariable,
+                 expr: str) -> str:
+    """Cast a raw ``unsigned`` expression to a stub parameter's C type.
+
+    The native dispatch shim marshals every argument as a width-masked
+    ``unsigned``; signed stub parameters must be sign-extended back and
+    enum parameters cast to their typedef before the stub call.
+    """
+    var_type = variable.type
+    if isinstance(var_type, EnumType):
+        name = var_type.name or variable.name
+        return f"({prefix}_{name}_t)({expr})"
+    if isinstance(var_type, IntType) and var_type.signed:
+        return f"devil__sext({expr}, {var_type.width})"
+    return expr
 
 
 class _CWriter:
@@ -153,6 +200,10 @@ class _CWriter:
         for variable in self.device.variables.values():
             if variable.structure is not None:
                 self._emit_member_getter(variable)
+                # Members also get individual setters (compose-with-cache
+                # register writes, like any other variable); reads stay
+                # snapshot-based via the grouped fetch.
+                self._emit_variable_accessors(variable, getter=False)
         for variable in self.device.variables.values():
             if variable.behaviors.block:
                 self._emit_block_stubs(variable)
@@ -183,6 +234,17 @@ class _CWriter:
         self._w("        value &= (1u << width) - 1u;")
         self._w("    return (int)((value ^ sign) - sign);")
         self._w("}")
+        self._w("#endif")
+        self._w()
+        self._w("#ifndef DEVIL_OBS_ACTION")
+        self._w("/* Observability hook, expanded before every "
+                "action-triggered stub call")
+        self._w("   (mirroring the Python runtime's record-then-execute "
+                "order).  The")
+        self._w("   native runtime shim overrides this to notify the "
+                "span collector;")
+        self._w("   standalone kernel-style builds compile it away. */")
+        self._w("#define DEVIL_OBS_ACTION(kind, target) ((void)0)")
         self._w("#endif")
         self._w()
 
@@ -222,12 +284,15 @@ class _CWriter:
         for variable in self.device.variables.values():
             if variable.memory:
                 self._w(f"    unsigned mem_{variable.name};")
-        self._w("#ifdef DEVIL_DEBUG")
-        for structure in self.device.structures:
-            self._w(f"    unsigned char fetched_{structure};")
+        # init_ flags are unconditional: the native runtime needs
+        # initialisation tracking in release builds too (the debug-only
+        # part is the DEVIL_CHECK that consults them).
         for variable in self.device.variables.values():
             if variable.memory:
                 self._w(f"    unsigned char init_{variable.name};")
+        self._w("#ifdef DEVIL_DEBUG")
+        for structure in self.device.structures:
+            self._w(f"    unsigned char fetched_{structure};")
         self._w("#endif")
         self._w(f"}} {p}_state_t;")
         self._w()
@@ -240,12 +305,10 @@ class _CWriter:
         for variable in self.device.variables.values():
             name = variable.name
             c_type = self._c_type(variable)
-            is_member = variable.structure is not None
             if variable.memory or self._readable(variable):
                 self._w(f"static inline {c_type} {p}__get_{name}"
                         f"({p}_state_t *d);")
-            if not is_member and (variable.memory
-                                  or self._writable(variable)):
+            if variable.memory or self._writable(variable):
                 self._w(f"static inline void {p}__set_{name}"
                         f"({p}_state_t *d, {c_type} value);")
         for structure_name, structure in self.device.structures.items():
@@ -277,14 +340,14 @@ class _CWriter:
             # Reset into the first declared mode (enum value 0).
             self._w(f"    d->mem_device_mode = "
                     f"{self._sym(self.device.modes[0])};")
-        self._w("#ifdef DEVIL_DEBUG")
-        for structure in self.device.structures:
-            self._w(f"    d->fetched_{structure} = 0;")
         for variable in self.device.variables.values():
             if variable.memory:
                 init = "1" if (variable.name == "device_mode"
                                and self.device.modes) else "0"
                 self._w(f"    d->init_{variable.name} = {init};")
+        self._w("#ifdef DEVIL_DEBUG")
+        for structure in self.device.structures:
+            self._w(f"    d->fetched_{structure} = 0;")
         self._w("#endif")
         self._w("}")
         self._w()
@@ -293,9 +356,11 @@ class _CWriter:
 
     def _emit_action(self, action: ResolvedAction, indent: str,
                      context_var: str | None = None,
-                     context_param: str = "value") -> None:
+                     context_param: str = "value",
+                     kind: str = "reg-set") -> None:
         """Emit one pre/post/set action as stub calls."""
         p = self.prefix
+        self._w(f'{indent}DEVIL_OBS_ACTION("{kind}", "{action.target}");')
         if action.target_kind == "structure":
             if not isinstance(action.value, dict):
                 raise DevilCodegenError(
@@ -355,14 +420,16 @@ class _CWriter:
                 f"register {register.name!r} is write-only")
         self._emit_mode_check(register, indent)
         for action in register.pre_actions:
-            self._emit_action(action, indent)
+            self._emit_action(action, indent, kind="pre")
         self._w(f"{indent}raw_{register.name} = devil_in("
                 f"{self._port_expr(register.read_port)}, "
                 f"{self._port_width(register.read_port)});")
         self._w(f"{indent}d->cache_{register.name} = raw_{register.name} & "
                 f"{self._hex(register.mask.variable_bits)};")
-        for action in register.post_actions + register.set_actions:
-            self._emit_action(action, indent)
+        for action in register.post_actions:
+            self._emit_action(action, indent, kind="post")
+        for action in register.set_actions:
+            self._emit_action(action, indent, kind="reg-set")
 
     def _emit_register_write(self, register: ResolvedRegister,
                              composed_expr: str,
@@ -375,15 +442,17 @@ class _CWriter:
         self._w(f"{indent}d->cache_{name} = ({composed_expr}) & "
                 f"{self._hex(register.mask.variable_bits)};")
         for action in register.pre_actions:
-            self._emit_action(action, indent)
+            self._emit_action(action, indent, kind="pre")
         out_expr = f"(d->cache_{name} & " \
             f"{self._hex(register.mask.variable_bits)}) | " \
             f"{self._hex(register.mask.forced_value)}"
         self._w(f"{indent}devil_out({out_expr}, "
                 f"{self._port_expr(register.write_port)}, "
                 f"{self._port_width(register.write_port)});")
-        for action in register.post_actions + register.set_actions:
-            self._emit_action(action, indent)
+        for action in register.post_actions:
+            self._emit_action(action, indent, kind="post")
+        for action in register.set_actions:
+            self._emit_action(action, indent, kind="reg-set")
 
     # -- value (de)composition ------------------------------------------
 
@@ -473,11 +542,10 @@ class _CWriter:
                 f"({p}_state_t *d, {c_type} value)")
         self._w("{")
         self._w(f"    d->mem_{name} = (unsigned)value;")
-        self._w("#ifdef DEVIL_DEBUG")
         self._w(f"    d->init_{name} = 1;")
-        self._w("#endif")
         for action in variable.set_actions:
-            self._emit_action(action, "    ", context_var=variable.name)
+            self._emit_action(action, "    ", context_var=variable.name,
+                              kind="var-set")
         self._w("}")
         self._w()
 
@@ -515,11 +583,12 @@ class _CWriter:
         width_mask = (1 << variable.width) - 1
         return f"((unsigned){param} & {self._hex(width_mask)})"
 
-    def _emit_variable_accessors(self, variable: ResolvedVariable) -> None:
+    def _emit_variable_accessors(self, variable: ResolvedVariable,
+                                 getter: bool = True) -> None:
         p = self.prefix
         name = variable.name
         c_type = self._c_type(variable)
-        if self._readable(variable):
+        if getter and self._readable(variable):
             self._w(f"static inline {c_type} {p}__get_{name}"
                     f"({p}_state_t *d)")
             self._w("{")
@@ -547,7 +616,8 @@ class _CWriter:
                 self._emit_register_write(register, composed)
             for action in variable.set_actions:
                 self._emit_action(action, "    ",
-                                  context_var=variable.name)
+                                  context_var=variable.name,
+                                  kind="var-set")
             self._w("}")
             self._w()
 
@@ -615,7 +685,8 @@ class _CWriter:
                 for action in member.set_actions:
                     self._emit_action(action, "    ",
                                       context_var=member.name,
-                                      context_param=f"raw_{member.name}")
+                                      context_param=f"raw_{member.name}",
+                                      kind="var-set")
             self._w("}")
             self._w()
 
@@ -683,12 +754,14 @@ class _CWriter:
                     f"unsigned long count)")
             self._w("{")
             for action in register.pre_actions:
-                self._emit_action(action, "    ")
+                self._emit_action(action, "    ", kind="pre")
             self._w(f"    devil_in_rep({self._port_expr(register.read_port)},"
                     f" {self._port_width(register.read_port)}, count, "
                     f"buffer);")
-            for action in register.post_actions + register.set_actions:
-                self._emit_action(action, "    ")
+            for action in register.post_actions:
+                self._emit_action(action, "    ", kind="post")
+            for action in register.set_actions:
+                self._emit_action(action, "    ", kind="reg-set")
             self._w("}")
             self._w()
         if register.writable:
@@ -697,13 +770,15 @@ class _CWriter:
                     f"unsigned long count)")
             self._w("{")
             for action in register.pre_actions:
-                self._emit_action(action, "    ")
+                self._emit_action(action, "    ", kind="pre")
             self._w(f"    devil_out_rep("
                     f"{self._port_expr(register.write_port)}, "
                     f"{self._port_width(register.write_port)}, count, "
                     f"buffer);")
-            for action in register.post_actions + register.set_actions:
-                self._emit_action(action, "    ")
+            for action in register.post_actions:
+                self._emit_action(action, "    ", kind="post")
+            for action in register.set_actions:
+                self._emit_action(action, "    ", kind="reg-set")
             self._w("}")
             self._w()
 

@@ -1,0 +1,171 @@
+"""Toolchain discovery and the on-disk native build cache.
+
+A native bind compiles ``<spec>.dil.h`` + the runtime shim into a
+shared library with whatever C compiler the machine has (``$CC``,
+``cc``, ``gcc`` or ``clang``, in that order).  Compiled libraries are
+cached on disk keyed by ``(source hash, debug flag, toolchain id,
+codegen version)`` so re-binds — and every bind after the first in a
+fleet — are instant; publication is atomic (``os.replace``) so
+concurrent builders race benignly.  Loaded handles are additionally
+memoized in-process: one ``dlopen`` per library per interpreter.
+
+No compiler is a supported configuration: :func:`find_compiler`
+returns ``None``, ``native_available()`` is ``False``, and
+``bind(strategy="auto")`` falls back to the specializer.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+from ..codegen.c_backend import CODEGEN_VERSION
+from ..errors import DevilRuntimeError
+
+#: Environment override for the cache directory (CI points this at a
+#: directory restored across runs).
+CACHE_ENV = "DEVIL_NATIVE_CACHE"
+
+#: Flags the cache key includes: changing them invalidates cached .so.
+CFLAGS = ("-O2", "-fPIC", "-shared", "-std=c99")
+
+#: Number of actual compiler invocations this process performed
+#: (observable cache behaviour for tests and benchmarks).
+BUILD_COUNT = 0
+
+
+class NativeBuildError(DevilRuntimeError):
+    """Toolchain missing or the compiler rejected generated code."""
+
+
+_LOCK = threading.Lock()
+_COMPILER: tuple[str | None, str] | None = None   # (path, version id)
+_LOADED: dict[str, ctypes.CDLL] = {}
+
+
+def cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "devil-native"
+
+
+def find_compiler() -> str | None:
+    """Absolute path of the C compiler to use, or None."""
+    return _compiler()[0]
+
+
+def native_available() -> bool:
+    return find_compiler() is not None
+
+
+def compiler_id() -> str:
+    """Toolchain identity string baked into the cache key."""
+    return _compiler()[1]
+
+
+def _compiler() -> tuple[str | None, str]:
+    global _COMPILER
+    cached = _COMPILER
+    if cached is not None:
+        return cached
+    with _LOCK:
+        if _COMPILER is None:
+            _COMPILER = _discover()
+        return _COMPILER
+
+
+def _discover() -> tuple[str | None, str]:
+    candidates = [os.environ.get("CC"), "cc", "gcc", "clang"]
+    for candidate in candidates:
+        if not candidate:
+            continue
+        path = shutil.which(candidate)
+        if path is None:
+            continue
+        try:
+            probe = subprocess.run([path, "--version"],
+                                   capture_output=True, text=True,
+                                   timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        if probe.returncode != 0:
+            continue
+        first = probe.stdout.splitlines()[0] if probe.stdout else path
+        return path, first.strip()
+    return None, "none"
+
+
+def _reset_compiler_cache() -> None:
+    """Test hook: forget the discovered toolchain."""
+    global _COMPILER
+    with _LOCK:
+        _COMPILER = None
+
+
+def build_key(name: str, header: str, shim: str, debug: bool) -> str:
+    """Cache key: (spec sources, debug flag, toolchain, codegen version)."""
+    digest = hashlib.sha256()
+    for part in (f"codegen={CODEGEN_VERSION}", compiler_id(),
+                 " ".join(CFLAGS), f"debug={int(debug)}", header, shim):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:20]
+
+
+def build_library(name: str, header: str, shim: str,
+                  debug: bool) -> Path:
+    """Compile (or fetch from cache) one spec's native library."""
+    global BUILD_COUNT
+    cc = find_compiler()
+    if cc is None:
+        raise NativeBuildError(
+            "no C compiler found for strategy='native' (searched $CC, "
+            "cc, gcc, clang); install one or bind with strategy='auto' "
+            "to fall back to the specializer")
+    flavor = "dbg" if debug else "rel"
+    key = build_key(name, header, shim, debug)
+    directory = cache_dir()
+    target = directory / f"{name}-{flavor}-{key}.so"
+    if target.exists():
+        return target
+    directory.mkdir(parents=True, exist_ok=True)
+    workdir = Path(tempfile.mkdtemp(prefix=f"build-{name}-",
+                                    dir=directory))
+    try:
+        (workdir / f"{name}.dil.h").write_text(header)
+        source = workdir / f"{name}_shim.c"
+        source.write_text(shim)
+        produced = workdir / target.name
+        command = [cc, *CFLAGS, str(source), "-o", str(produced)]
+        result = subprocess.run(command, capture_output=True, text=True,
+                                cwd=workdir, timeout=120)
+        if result.returncode != 0:
+            raise NativeBuildError(
+                f"native build of spec {name!r} failed "
+                f"({' '.join(command)}):\n{result.stderr.strip()}")
+        BUILD_COUNT += 1
+        os.replace(produced, target)   # atomic publish; last writer wins
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return target
+
+
+def load_library(path: Path) -> ctypes.CDLL:
+    """dlopen with an in-process memo (one handle per .so per process)."""
+    key = str(path)
+    handle = _LOADED.get(key)
+    if handle is not None:
+        return handle
+    with _LOCK:
+        handle = _LOADED.get(key)
+        if handle is None:
+            handle = ctypes.CDLL(key)
+            _LOADED[key] = handle
+        return handle

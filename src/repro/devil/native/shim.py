@@ -1,0 +1,477 @@
+"""C runtime shim emission for the native execution strategy.
+
+The generated C header (:mod:`repro.devil.codegen.c_backend`) contains
+the paper's Figure-3 stubs as ``static inline`` functions.  This module
+emits the translation unit that turns one spec's header into a loadable
+shared library:
+
+* the ``devil_nat_bus_t`` ABI struct mirrored by ctypes on the Python
+  side — callback pointers, mode flags, a port table, accounting
+  counters and a bounded trace ring (the C port of the bus hot path);
+* ``devil_in``/``devil_out``/``devil_in_rep``/``devil_out_rep``
+  implementations that either call back into the Python :class:`Bus`
+  (exact-parity path) or dispatch through the C port table straight to
+  the mapped device models (direct path, used for batched loops on an
+  untraced bus);
+* ``DEVIL_CHECK`` routed through ``setjmp``/``longjmp`` so a failed
+  §3.2 check unwinds the C frames and surfaces as a Python exception
+  instead of ``assert()``-aborting the interpreter;
+* ``DEVIL_OBS_ACTION`` routed to the span collector callback;
+* one ``switch``-based dispatch function plus batched entry points
+  (``<p>_nat_call``, ``<p>_nat_repeat``, ``<p>_nat_read_block``,
+  ``<p>_nat_write_block``) so inner loops cross the Python↔C boundary
+  once per batch, not once per port access.
+
+The stub table (:func:`native_stub_table`) is the single source of
+truth for dispatch ids: the C ``switch`` and the Python loader both
+derive from it, recomputed deterministically from the resolved model on
+every bind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.c_backend import c_value_cast
+
+#: Entry status codes shared with the Python loader.
+STATUS_OK = 0
+STATUS_PYERR = 1    # a Python callback raised; the stored exception re-raises
+STATUS_CHECK = 2    # a DEVIL_CHECK failed; fail_msg carries the message
+STATUS_NODEV = 3    # direct mode: no device mapped at fail_port
+STATUS_BADID = 4    # unknown stub id (loader/table version skew)
+
+
+@dataclass(frozen=True)
+class NatStub:
+    """One dispatchable stub: a ``case`` in the generated switch."""
+
+    index: int
+    stub: str            # Python attribute name, e.g. "set_init"
+    kind: str            # "get" | "set" | "get_struct" | "set_struct"
+    target: str          # variable or structure name
+    args: tuple          # variable names supplying each args[] slot
+    has_out: bool
+
+
+@dataclass(frozen=True)
+class NatBlock:
+    """One block-transfer stub: a ``case`` in the block switches."""
+
+    index: int
+    stub: str            # e.g. "read_ide_data_block"
+    kind: str            # "block_read" | "block_write"
+    target: str
+
+
+def native_stub_table(model) -> tuple[list[NatStub], list[NatBlock]]:
+    """Dispatch tables for one resolved device.
+
+    Mirrors the attachment rules of ``DeviceInstance._attach_stubs``
+    minus what stays on the Python side: memory variables (their
+    interpreter semantics — no set-actions on write, abstract values
+    returned verbatim — live in Python against the shared state
+    mirror).  Member getters *are* listed: single calls use the
+    snapshot path in Python, but batched ``repeat()`` loops dispatch
+    them in C.
+    """
+    def readable(variable):
+        return variable.memory or all(
+            model.registers[c.register].readable
+            for c in variable.chunks)
+
+    def writable(variable):
+        return variable.memory or all(
+            model.registers[c.register].writable
+            for c in variable.chunks)
+
+    stubs: list[NatStub] = []
+    blocks: list[NatBlock] = []
+    for variable in model.public_variables():
+        name = variable.name
+        if variable.memory:
+            continue
+        if readable(variable):
+            stubs.append(NatStub(len(stubs), f"get_{name}", "get",
+                                 name, (), True))
+        if writable(variable):
+            stubs.append(NatStub(len(stubs), f"set_{name}", "set",
+                                 name, (name,), False))
+        if variable.behaviors.block:
+            if readable(variable):
+                blocks.append(NatBlock(len(blocks),
+                                       f"read_{name}_block",
+                                       "block_read", name))
+            if writable(variable):
+                blocks.append(NatBlock(len(blocks),
+                                       f"write_{name}_block",
+                                       "block_write", name))
+    for structure in model.structures.values():
+        members = [model.variables[m] for m in structure.members]
+        if all(readable(m) for m in members):
+            stubs.append(NatStub(len(stubs), f"get_{structure.name}",
+                                 "get_struct", structure.name, (), False))
+        if all(writable(m) for m in members):
+            stubs.append(NatStub(len(stubs), f"set_{structure.name}",
+                                 "set_struct", structure.name,
+                                 tuple(structure.members), False))
+    return stubs, blocks
+
+
+def generate_shim(model, prefix: str | None = None,
+                  header_name: str | None = None) -> str:
+    """Emit the runtime shim C source for ``model``.
+
+    The same source serves debug and release builds: the header decides
+    (via its embedded ``DEVIL_DEBUG`` define when emitted with
+    ``debug=True``) whether the §3.2 checks are compiled in.
+    """
+    p = prefix or model.name
+    header = header_name or f"{p}.dil.h"
+    stubs, blocks = native_stub_table(model)
+    w: list[str] = []
+
+    def line(text: str = "") -> None:
+        w.append(text)
+
+    line(f"/* Generated native runtime shim for specification "
+         f"'{model.name}'. Do not edit. */")
+    line("#include <setjmp.h>")
+    line()
+    line("typedef unsigned (*devil_nat_in_fn)(void *ctx, unsigned port, "
+         "int width);")
+    line("typedef void (*devil_nat_out_fn)(void *ctx, unsigned value, "
+         "unsigned port, int width);")
+    line("typedef void (*devil_nat_in_rep_fn)(void *ctx, unsigned port, "
+         "int width, unsigned long count, unsigned *buffer);")
+    line("typedef void (*devil_nat_out_rep_fn)(void *ctx, unsigned port, "
+         "int width, unsigned long count, const unsigned *buffer);")
+    line("typedef unsigned (*devil_nat_raw_in_fn)(void *ctx, "
+         "unsigned index, unsigned offset, int width);")
+    line("typedef void (*devil_nat_raw_out_fn)(void *ctx, "
+         "unsigned index, unsigned offset, unsigned value, int width);")
+    line("typedef void (*devil_nat_obs_fn)(void *ctx, const char *kind, "
+         "const char *target);")
+    line()
+    line("typedef struct devil_nat_port {")
+    line("    unsigned base;")
+    line("    unsigned size;")
+    line("    unsigned index;   /* slot in the Python-side device list */")
+    line("} devil_nat_port_t;")
+    line()
+    line("typedef struct devil_nat_trace {")
+    line("    unsigned op;      /* 0 = read, 1 = write */")
+    line("    unsigned port;")
+    line("    unsigned value;")
+    line("    unsigned width;")
+    line("} devil_nat_trace_t;")
+    line()
+    line("/* Mirrored field-for-field by ctypes on the Python side; the")
+    line(" * loader cross-checks sizeof() at dlopen time. */")
+    line("typedef struct devil_nat_bus {")
+    line("    devil_nat_in_fn py_in;        /* exact-parity path: the "
+         "Python Bus */")
+    line("    devil_nat_out_fn py_out;")
+    line("    devil_nat_in_rep_fn py_in_rep;")
+    line("    devil_nat_out_rep_fn py_out_rep;")
+    line("    devil_nat_raw_in_fn raw_in;   /* direct path: mapped "
+         "device models */")
+    line("    devil_nat_raw_out_fn raw_out;")
+    line("    devil_nat_obs_fn obs;")
+    line("    void *ctx;")
+    line("    int direct;")
+    line("    int action_hook;")
+    line("    int aborted;")
+    line("    const devil_nat_port_t *ports;")
+    line("    unsigned n_ports;")
+    line("    unsigned long long reads;     /* direct-mode accounting, "
+         "merged */")
+    line("    unsigned long long writes;    /* into bus.accounting per "
+         "batch  */")
+    line("    unsigned long long single_w8;")
+    line("    unsigned long long single_w16;")
+    line("    unsigned long long single_w32;")
+    line("    devil_nat_trace_t *ring;      /* bounded flight recorder */")
+    line("    unsigned ring_cap;")
+    line("    unsigned long long ring_written;")
+    line("    const char *fail_msg;")
+    line("    unsigned fail_port;")
+    line("} devil_nat_bus_t;")
+    line()
+    line("static __thread devil_nat_bus_t *devil_nat_cur;")
+    line("static __thread jmp_buf *devil_nat_env;")
+    line()
+    line(f"#define DEVIL_NAT_PYERR {STATUS_PYERR}")
+    line(f"#define DEVIL_NAT_CHECK {STATUS_CHECK}")
+    line(f"#define DEVIL_NAT_NODEV {STATUS_NODEV}")
+    line(f"#define DEVIL_NAT_BADID {STATUS_BADID}")
+    line()
+    line("static void devil_nat_fail(const char *msg)")
+    line("{")
+    line("    devil_nat_cur->fail_msg = msg;")
+    line("    longjmp(*devil_nat_env, DEVIL_NAT_CHECK);")
+    line("}")
+    line()
+    line("#define DEVIL_CHECK(cond, msg) \\")
+    line("    do { if (!(cond)) devil_nat_fail(msg); } while (0)")
+    line("#define DEVIL_OBS_ACTION(kind, target) "
+         "devil_nat_action(kind, target)")
+    line("#define DEVIL_IO_DECLARED")
+    line()
+    line("static unsigned devil_in(unsigned port, int width);")
+    line("static void devil_out(unsigned value, unsigned port, "
+         "int width);")
+    line("static void devil_in_rep(unsigned port, int width, "
+         "unsigned long count, unsigned *buffer);")
+    line("static void devil_out_rep(unsigned port, int width, "
+         "unsigned long count, const unsigned *buffer);")
+    line("static void devil_nat_action(const char *kind, "
+         "const char *target);")
+    line()
+    line(f'#include "{header}"')
+    line()
+    line("static void devil_nat_action(const char *kind, "
+         "const char *target)")
+    line("{")
+    line("    devil_nat_bus_t *bus = devil_nat_cur;")
+    line("    if (!bus->action_hook)")
+    line("        return;")
+    line("    bus->obs(bus->ctx, kind, target);")
+    line("    if (bus->aborted)")
+    line("        longjmp(*devil_nat_env, DEVIL_NAT_PYERR);")
+    line("}")
+    line()
+    line("static unsigned devil_nat_width_mask(int width)")
+    line("{")
+    line("    return width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);")
+    line("}")
+    line()
+    line("static const devil_nat_port_t *devil_nat_find("
+         "devil_nat_bus_t *bus, unsigned port)")
+    line("{")
+    line("    unsigned i;")
+    line("    for (i = 0; i < bus->n_ports; i++) {")
+    line("        const devil_nat_port_t *m = &bus->ports[i];")
+    line("        if (port >= m->base && port < m->base + m->size)")
+    line("            return m;")
+    line("    }")
+    line("    bus->fail_port = port;")
+    line("    longjmp(*devil_nat_env, DEVIL_NAT_NODEV);")
+    line("    return 0;")
+    line("}")
+    line()
+    line("static void devil_nat_count(devil_nat_bus_t *bus, int width, "
+         "int is_write)")
+    line("{")
+    line("    if (is_write)")
+    line("        bus->writes++;")
+    line("    else")
+    line("        bus->reads++;")
+    line("    if (width == 8)")
+    line("        bus->single_w8++;")
+    line("    else if (width == 16)")
+    line("        bus->single_w16++;")
+    line("    else")
+    line("        bus->single_w32++;")
+    line("}")
+    line()
+    line("static void devil_nat_record(devil_nat_bus_t *bus, unsigned op, "
+         "unsigned port, unsigned value, unsigned width)")
+    line("{")
+    line("    if (bus->ring_cap) {")
+    line("        devil_nat_trace_t *slot =")
+    line("            &bus->ring[bus->ring_written % bus->ring_cap];")
+    line("        slot->op = op;")
+    line("        slot->port = port;")
+    line("        slot->value = value;")
+    line("        slot->width = width;")
+    line("    }")
+    line("    bus->ring_written++;")
+    line("}")
+    line()
+    line("static unsigned devil_in(unsigned port, int width)")
+    line("{")
+    line("    devil_nat_bus_t *bus = devil_nat_cur;")
+    line("    unsigned value;")
+    line("    if (bus->direct) {")
+    line("        const devil_nat_port_t *m = devil_nat_find(bus, port);")
+    line("        value = bus->raw_in(bus->ctx, m->index, "
+         "port - m->base, width);")
+    line("        if (bus->aborted)")
+    line("            longjmp(*devil_nat_env, DEVIL_NAT_PYERR);")
+    line("        value &= devil_nat_width_mask(width);")
+    line("        devil_nat_count(bus, width, 0);")
+    line("        devil_nat_record(bus, 0u, port, value, "
+         "(unsigned)width);")
+    line("        return value;")
+    line("    }")
+    line("    value = bus->py_in(bus->ctx, port, width);")
+    line("    if (bus->aborted)")
+    line("        longjmp(*devil_nat_env, DEVIL_NAT_PYERR);")
+    line("    return value;")
+    line("}")
+    line()
+    line("static void devil_out(unsigned value, unsigned port, int width)")
+    line("{")
+    line("    devil_nat_bus_t *bus = devil_nat_cur;")
+    line("    if (bus->direct) {")
+    line("        const devil_nat_port_t *m = devil_nat_find(bus, port);")
+    line("        value &= devil_nat_width_mask(width);")
+    line("        bus->raw_out(bus->ctx, m->index, port - m->base, "
+         "value, width);")
+    line("        if (bus->aborted)")
+    line("            longjmp(*devil_nat_env, DEVIL_NAT_PYERR);")
+    line("        devil_nat_count(bus, width, 1);")
+    line("        devil_nat_record(bus, 1u, port, value, "
+         "(unsigned)width);")
+    line("        return;")
+    line("    }")
+    line("    bus->py_out(bus->ctx, value, port, width);")
+    line("    if (bus->aborted)")
+    line("        longjmp(*devil_nat_env, DEVIL_NAT_PYERR);")
+    line("}")
+    line()
+    line("static void devil_in_rep(unsigned port, int width, "
+         "unsigned long count, unsigned *buffer)")
+    line("{")
+    line("    devil_nat_bus_t *bus = devil_nat_cur;")
+    line("    bus->py_in_rep(bus->ctx, port, width, count, buffer);")
+    line("    if (bus->aborted)")
+    line("        longjmp(*devil_nat_env, DEVIL_NAT_PYERR);")
+    line("}")
+    line()
+    line("static void devil_out_rep(unsigned port, int width, "
+         "unsigned long count, const unsigned *buffer)")
+    line("{")
+    line("    devil_nat_bus_t *bus = devil_nat_cur;")
+    line("    bus->py_out_rep(bus->ctx, port, width, count, buffer);")
+    line("    if (bus->aborted)")
+    line("        longjmp(*devil_nat_env, DEVIL_NAT_PYERR);")
+    line("}")
+    line()
+    # -- generated dispatch switch -------------------------------------
+    line(f"static int {p}_nat_dispatch({p}_state_t *d, unsigned stub_id, "
+         "const unsigned *args, unsigned *out)")
+    line("{")
+    line("    (void)args;")
+    line("    (void)out;")
+    line("    switch (stub_id) {")
+    for entry in stubs:
+        call_args = ", ".join(
+            c_value_cast(p, model.variables[arg], f"args[{j}]")
+            for j, arg in enumerate(entry.args))
+        if entry.kind == "get":
+            line(f"    case {entry.index}: "
+                 f"*out = (unsigned){p}__get_{entry.target}(d); return 0;")
+        elif entry.kind == "set":
+            line(f"    case {entry.index}: "
+                 f"{p}__set_{entry.target}(d, {call_args}); return 0;")
+        elif entry.kind == "get_struct":
+            line(f"    case {entry.index}: "
+                 f"{p}__get_{entry.target}(d); return 0;")
+        else:  # set_struct
+            line(f"    case {entry.index}: "
+                 f"{p}__set_{entry.target}(d, {call_args}); return 0;")
+    line("    default: return DEVIL_NAT_BADID;")
+    line("    }")
+    line("}")
+    line()
+    # -- exported entry points -----------------------------------------
+    line("#define DEVIL_NAT_ENTER() \\")
+    line("    jmp_buf env; \\")
+    line("    jmp_buf *prev_env = devil_nat_env; \\")
+    line("    devil_nat_bus_t *prev_bus = devil_nat_cur; \\")
+    line("    int status; \\")
+    line("    devil_nat_cur = bus; \\")
+    line("    devil_nat_env = &env; \\")
+    line("    bus->fail_msg = 0; \\")
+    line("    status = setjmp(env)")
+    line()
+    line("#define DEVIL_NAT_LEAVE() \\")
+    line("    devil_nat_cur = prev_bus; \\")
+    line("    devil_nat_env = prev_env; \\")
+    line("    return status")
+    line()
+    line(f"int {p}_nat_call(void *state, devil_nat_bus_t *bus, "
+         "unsigned stub_id, const unsigned *args, unsigned *out)")
+    line("{")
+    line("    DEVIL_NAT_ENTER();")
+    line("    if (status == 0)")
+    line(f"        status = {p}_nat_dispatch(({p}_state_t *)state, "
+         "stub_id, args, out);")
+    line("    DEVIL_NAT_LEAVE();")
+    line("}")
+    line()
+    line(f"int {p}_nat_repeat(void *state, devil_nat_bus_t *bus, "
+         "unsigned stub_id, const unsigned *args, unsigned long n, "
+         "unsigned *out)")
+    line("{")
+    line("    DEVIL_NAT_ENTER();")
+    line("    if (status == 0) {")
+    line("        unsigned long i;")
+    line("        for (i = 0; i < n && status == 0; i++)")
+    line(f"            status = {p}_nat_dispatch(({p}_state_t *)state, "
+         "stub_id, args, out);")
+    line("    }")
+    line("    DEVIL_NAT_LEAVE();")
+    line("}")
+    line()
+    line(f"int {p}_nat_read_block(void *state, devil_nat_bus_t *bus, "
+         "unsigned block_id, unsigned *buffer, unsigned long count)")
+    line("{")
+    line("    DEVIL_NAT_ENTER();")
+    line("    if (status == 0) {")
+    line("        switch (block_id) {")
+    for entry in blocks:
+        if entry.kind != "block_read":
+            continue
+        line(f"        case {entry.index}: "
+             f"{p}__{entry.stub}(({p}_state_t *)state, buffer, count); "
+             "break;")
+    line("        default: status = DEVIL_NAT_BADID;")
+    line("        }")
+    line("    }")
+    line("    DEVIL_NAT_LEAVE();")
+    line("}")
+    line()
+    line(f"int {p}_nat_write_block(void *state, devil_nat_bus_t *bus, "
+         "unsigned block_id, const unsigned *buffer, unsigned long count)")
+    line("{")
+    line("    DEVIL_NAT_ENTER();")
+    line("    if (status == 0) {")
+    line("        switch (block_id) {")
+    for entry in blocks:
+        if entry.kind != "block_write":
+            continue
+        line(f"        case {entry.index}: "
+             f"{p}__{entry.stub}(({p}_state_t *)state, buffer, count); "
+             "break;")
+    line("        default: status = DEVIL_NAT_BADID;")
+    line("        }")
+    line("    }")
+    line("    DEVIL_NAT_LEAVE();")
+    line("}")
+    line()
+    bases = ", ".join(f"bases[{i}]" for i in range(len(model.params)))
+    line(f"void {p}_nat_init(void *state, const unsigned *bases)")
+    line("{")
+    line("    (void)bases;")
+    if bases:
+        line(f"    {p}__init(({p}_state_t *)state, {bases});")
+    else:
+        line(f"    {p}__init(({p}_state_t *)state);")
+    line("}")
+    line()
+    line("/* Layout cross-checks: the Python loader refuses a library "
+         "whose")
+    line(" * struct sizes disagree with its ctypes mirrors. */")
+    line(f"unsigned long {p}_nat_state_size(void)")
+    line("{")
+    line(f"    return (unsigned long)sizeof({p}_state_t);")
+    line("}")
+    line()
+    line(f"unsigned long {p}_nat_bus_abi_size(void)")
+    line("{")
+    line("    return (unsigned long)sizeof(devil_nat_bus_t);")
+    line("}")
+    return "\n".join(w) + "\n"

@@ -84,7 +84,9 @@ class DeviceInstance:
                 model.location)
         if strategy not in ("interpret", "specialize"):
             raise DevilRuntimeError(
-                f"unknown execution strategy {strategy!r}",
+                f"unknown execution strategy {strategy!r} (choose "
+                f"'interpret', 'specialize', 'native' or 'auto'; "
+                f"'native'/'auto' dispatch via CompiledSpec.bind)",
                 model.location)
         self.model = model
         self.bus = bus

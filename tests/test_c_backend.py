@@ -85,9 +85,12 @@ class TestHeaderShape:
 
 @pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
 class TestGccCompilation:
+    @pytest.mark.parametrize("debug", [True, False],
+                             ids=["debug", "release"])
     @pytest.mark.parametrize("name", SPEC_NAMES)
-    def test_header_compiles_with_warnings_as_errors(self, name):
+    def test_header_compiles_with_warnings_as_errors(self, name, debug):
         header = shipped_spec(name).emit_c(prefix=name[:3])
+        define = "#define DEVIL_DEBUG" if debug else ""
         with tempfile.TemporaryDirectory() as workdir:
             work = Path(workdir)
             (work / f"{name}.dil.h").write_text(header)
@@ -99,7 +102,7 @@ void devil_in_rep(unsigned port, int width, unsigned long count,
 void devil_out_rep(unsigned port, int width, unsigned long count,
                    const unsigned *buffer);
 #define DEVIL_IO_DECLARED
-#define DEVIL_DEBUG
+{define}
 #include "{name}.dil.h"
 int main(void) {{ {name[:3]}_state_t s; (void)s; return 0; }}
 ''')
@@ -108,6 +111,63 @@ int main(void) {{ {name[:3]}_state_t s; (void)s; return 0; }}
                  "-c", "main.c", "-o", "main.o"],
                 cwd=work, capture_output=True, text=True)
             assert result.returncode == 0, result.stderr
+
+
+class TestHeaderMemoization:
+    def test_same_device_same_flags_is_cached(self):
+        model = shipped_spec("busmouse").model
+        from repro.devil.codegen.c_backend import generate_c_header
+        first = generate_c_header(model, debug=True)
+        second = generate_c_header(model, debug=True)
+        assert first is second              # memo hit, not a re-emit
+
+    def test_flags_key_the_memo(self):
+        model = shipped_spec("dma8237").model
+        from repro.devil.codegen.c_backend import generate_c_header
+        debug = generate_c_header(model, debug=True)
+        release = generate_c_header(model, debug=False)
+        assert debug is not release
+        assert "#define DEVIL_DEBUG 1" in debug
+        assert "#define DEVIL_DEBUG 1" not in release
+        assert generate_c_header(model, debug=False) is release
+
+    def test_prefix_keys_the_memo(self):
+        model = shipped_spec("pic8259").model
+        from repro.devil.codegen.c_backend import generate_c_header
+        default = generate_c_header(model)
+        prefixed = generate_c_header(model, prefix="pic")
+        assert default is not prefixed
+        assert generate_c_header(model, prefix="pic") is prefixed
+
+
+class TestPyiStubs:
+    """The checked-in .pyi stubs must match what the backend emits."""
+
+    @pytest.mark.parametrize("name", SPEC_NAMES)
+    def test_shipped_stub_is_fresh(self, name):
+        from repro.devil.codegen.pyi_backend import generate_pyi
+        stub_path = Path(__file__).parent.parent / "src" / "repro" / \
+            "specs" / "stubs" / f"{name}.pyi"
+        assert stub_path.exists(), \
+            f"missing {stub_path}; regenerate with devilc compile " \
+            f"--backend pyi"
+        expected = generate_pyi(shipped_spec(name).model)
+        assert stub_path.read_text() == expected, \
+            f"{stub_path.name} is stale; regenerate with devilc " \
+            f"compile --backend pyi"
+
+    def test_stub_surface_matches_catalog(self):
+        from repro.devil.codegen.pyi_backend import generate_pyi
+        from repro.obs.spans import stub_catalog
+        model = shipped_spec("busmouse").model
+        text = generate_pyi(model)
+        for stub, _target, _kind in stub_catalog(model):
+            assert f"def {stub}(" in text
+
+    def test_enum_setters_take_literals(self):
+        from repro.devil.codegen.pyi_backend import generate_pyi
+        text = generate_pyi(shipped_spec("busmouse").model)
+        assert 'Literal["CONFIGURATION", "DEFAULT_MODE"]' in text
 
 
 _C_HARNESS = r"""
