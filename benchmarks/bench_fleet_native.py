@@ -1,0 +1,254 @@
+"""Native fleet throughput: GIL-free batched C dispatch vs the specializer.
+
+The tentpole measurement for the native fleet substrate.  The request
+is :func:`repro.engine.ide_taskfile_churn` — thousands of single-
+register writes with no latency model and no data transfer, i.e. pure
+dispatch cost.  On interpret/specialize stubs every write is a full
+Python round trip holding the GIL, so a thread fleet flatlines no
+matter how many workers it has.  On native stubs the whole request
+collapses into one C ``repeat()`` call that *releases* the GIL and
+runs against the C port table with C-resident device models — N
+thread-fleet workers overlap in real parallel, with no process
+backend and no IPC in sight.
+
+Columns (each at 1, 2 and 4 workers):
+
+* ``spec/thread`` — the specializer on the thread backend: the
+  GIL-bound baseline;
+* ``nat/thread``  — the native core on the thread backend: the claim;
+* ``nat/process`` — the native core sharded across worker processes:
+  shows the C core composes with the process backend too.
+
+Floor (CI-enforced on >= 4-CPU machines, recorded as a skip with the
+measurement otherwise): ``nat/thread`` at 4 workers must deliver at
+least ``NATIVE_VS_SPECIALIZE`` (2x) the throughput of ``spec/thread``
+at 4 workers.  Exactness is enforced unconditionally: merged
+accounting and byte-identical per-device end-state across every
+variant and worker count.
+
+Runs standalone (``python benchmarks/bench_fleet_native.py
+[--quick]``, the CI concurrency-job step) and under pytest via
+:func:`test_fleet_native_bench_quick`.  Results land in
+``results/BENCH_fleet_native.{txt,json}`` with the host environment
+and toolchain recorded alongside.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+for _path in (_HERE, _HERE.parent / "src"):
+    if str(_path) not in sys.path:
+        sys.path.insert(0, str(_path))
+
+from conftest import record
+
+from repro.devil.native import native_available
+from repro.devil.native.build import compiler_id
+from repro.engine import CHURN_OPS, Fleet, ProcessFleet, \
+    ide_taskfile_churn
+
+pytestmark = pytest.mark.concurrency
+
+#: The claim: native thread-fleet throughput at 4 workers must reach
+#: this multiple of the specializer thread fleet at 4 workers.
+NATIVE_VS_SPECIALIZE = 2.0
+FLOOR_MIN_CPUS = 4
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Four disks, every request a dispatch-bound taskfile churn.
+FLEET = ["ide"] * 4
+
+VARIANTS = (
+    ("spec/thread", "thread", "specialize"),
+    ("nat/thread", "thread", "native"),
+    ("nat/process", "process", "native"),
+)
+
+
+def run_once(backend: str, strategy: str, workers: int, schedule):
+    """One timed run; returns (req/s, accounting, device states)."""
+    cls = ProcessFleet if backend == "process" else Fleet
+    with cls(FLEET, workers=workers, strategy=strategy,
+             policy="round-robin") as fleet:
+        start = time.perf_counter()
+        fleet.run(schedule)
+        elapsed = time.perf_counter() - start
+        accounting = fleet.accounting
+        if backend == "thread":
+            accounting = accounting.snapshot()
+        states = fleet.device_states()
+        assert fleet.completed() == len(schedule)
+    return len(schedule) / elapsed, accounting, states
+
+
+def scaling_leg(schedule):
+    """Every variant at every worker count, with exactness checks.
+
+    The specializer's Python loop and the native ``repeat()`` batch
+    produce identical bus traffic by construction; this asserts it —
+    merged accounting and per-device end state must byte-match across
+    strategy, backend and worker count.
+    """
+    rows = []
+    reference = None
+    for label, backend, strategy in VARIANTS:
+        base_rate = None
+        for workers in WORKER_COUNTS:
+            rate, accounting, states = run_once(
+                backend, strategy, workers, schedule)
+            if reference is None:
+                reference = (accounting, states)
+            else:
+                if accounting != reference[0]:
+                    raise AssertionError(
+                        f"accounting diverged ({label}, {workers} "
+                        f"workers):\n  reference: {reference[0]}\n"
+                        f"  this run : {accounting}")
+                if states != reference[1]:
+                    diverged = sorted(
+                        name for name in reference[1]
+                        if states.get(name) != reference[1][name])
+                    raise AssertionError(
+                        f"device end-state diverged ({label}, "
+                        f"{workers} workers): {diverged}")
+            if base_rate is None:
+                base_rate = rate
+            rows.append({"label": label, "backend": backend,
+                         "strategy": strategy, "workers": workers,
+                         "rps": rate, "speedup": rate / base_rate})
+    return rows, reference[0]
+
+
+def _row(rows, label: str, workers: int) -> dict:
+    return next(row for row in rows
+                if row["label"] == label
+                and row["workers"] == workers)
+
+
+def check_floor(rows, cpu_count: int):
+    """The native-vs-specialize verdict at 4 thread workers."""
+    native4 = _row(rows, "nat/thread", 4)
+    spec4 = _row(rows, "spec/thread", 4)
+    ratio = native4["rps"] / spec4["rps"]
+    if cpu_count < FLOOR_MIN_CPUS:
+        return (f"SKIP: native-vs-specialize floor "
+                f"({NATIVE_VS_SPECIALIZE}x at 4 thread workers) needs "
+                f">= {FLOOR_MIN_CPUS} CPUs; this machine has "
+                f"{cpu_count} (measured {ratio:.2f}x)"), True, ratio
+    if ratio >= NATIVE_VS_SPECIALIZE:
+        return (f"OK: native thread fleet beats the specializer "
+                f"({ratio:.2f}x at 4 workers, floor "
+                f"{NATIVE_VS_SPECIALIZE}x)"), True, ratio
+    return (f"FAIL: native thread fleet reached only {ratio:.2f}x of "
+            f"the specializer at 4 workers (floor "
+            f"{NATIVE_VS_SPECIALIZE}x on a {cpu_count}-CPU "
+            f"machine)"), False, ratio
+
+
+def render(rows, accounting, verdict, requests: int, ops: int,
+           cpu_count: int) -> str:
+    lines = [
+        "Native fleet: GIL-free batched C dispatch vs the specializer",
+        f"4x IDE, {requests} x ide_taskfile_churn({ops} writes each), "
+        f"os.cpu_count()={cpu_count}",
+        "",
+        f"{'variant':>12} | {'workers':>7} | {'req/s':>10} | "
+        f"{'speedup':>8}",
+        "-" * 48,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['label']:>12} | {row['workers']:>7} | "
+            f"{row['rps']:>10.2f} | {row['speedup']:>7.2f}x")
+    lines += [
+        "",
+        f"port ops (identical across every variant and worker "
+        f"count): total={accounting.total_ops} "
+        f"reads={accounting.reads} writes={accounting.writes}",
+        "",
+        verdict,
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller schedule (CI smoke); the floor "
+                             "still applies — the ratio is stable "
+                             "because both columns shrink together")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="churn requests in the schedule")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="register writes per churn request")
+    args = parser.parse_args(argv)
+
+    if not native_available():
+        print("SKIP: bench_fleet_native needs a C compiler "
+              "(native_available() is False)")
+        return 0
+
+    requests = args.requests or (16 if args.quick else 48)
+    ops = args.ops or (2048 if args.quick else CHURN_OPS)
+    schedule = [("ide", functools.partial(ide_taskfile_churn,
+                                          n=ops))] * requests
+    cpu_count = os.cpu_count() or 1
+
+    rows, accounting = scaling_leg(schedule)
+    verdict, ok, ratio = check_floor(rows, cpu_count)
+
+    table = render(rows, accounting, verdict, requests, ops, cpu_count)
+    record("BENCH_fleet_native", table, data={
+        "quick": args.quick,
+        "cpu_count": cpu_count,
+        "compiler": compiler_id(),
+        "devices": FLEET,
+        "requests": requests,
+        "ops_per_request": ops,
+        "rows": rows,
+        "port_ops": {
+            "total_ops": accounting.total_ops,
+            "reads": accounting.reads,
+            "writes": accounting.writes,
+        },
+        "floor": {
+            "native_vs_specialize": NATIVE_VS_SPECIALIZE,
+            "min_cpus": FLOOR_MIN_CPUS,
+            "enforced": cpu_count >= FLOOR_MIN_CPUS,
+            "measured_ratio": ratio,
+        },
+        "verdict": verdict,
+    })
+
+    print(verdict, file=sys.stdout if ok else sys.stderr)
+    return 0 if ok else 1
+
+
+def test_fleet_native_bench_quick():
+    """Pytest entry: tiny schedule, exactness only.
+
+    The throughput floor is waived here (wall-clock ratios are flaky
+    under a loaded test runner) and enforced by the standalone run in
+    the CI concurrency job instead.
+    """
+    if not native_available():
+        pytest.skip("no C compiler")
+    schedule = [("ide", functools.partial(ide_taskfile_churn,
+                                          n=256))] * 6
+    rows, accounting = scaling_leg(schedule)
+    assert accounting.writes == 6 * 256
+    assert len(rows) == len(VARIANTS) * len(WORKER_COUNTS)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

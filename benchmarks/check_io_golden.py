@@ -124,7 +124,9 @@ FLEET_CASES = {
 
 def _measure_fleet() -> dict:
     """Single-worker fleet profiles, parity-checked across strategies
-    and cross-checked against the process backend."""
+    and cross-checked against the process backend — and, when a C
+    compiler is present, against the native substrate on both
+    backends."""
     from repro.engine import ProcessFleet
 
     section: dict = {}
@@ -172,6 +174,29 @@ def _measure_fleet() -> dict:
                     f"backend ({transport}) "
                     f"{process_profile}/{process_placement} vs thread "
                     f"{reference}/{placement}")
+        # The native fleet substrate (C dispatch core, direct-mode
+        # batches, C-resident device models) must hit the same pins on
+        # both backends.  Like the per-workload native cross-check, it
+        # never changes the pinned numbers — it must merely match.
+        if _native_checkable():
+            for backend, builder in (
+                    ("thread", lambda: Fleet(
+                        devices, strategy="native", workers=1,
+                        policy=policy, weights=weights)),
+                    ("process", lambda: ProcessFleet(
+                        devices, strategy="native", workers=2,
+                        policy=policy, weights=weights))):
+                with builder() as fleet:
+                    fleet.run(schedule)
+                    native_profile = _profile(fleet.accounting)
+                    native_placement = fleet.completed_by_device()
+                if native_profile != reference \
+                        or native_placement != placement:
+                    raise SystemExit(
+                        f"backend divergence: fleet/{name} native "
+                        f"{backend} backend "
+                        f"{native_profile}/{native_placement} vs "
+                        f"{reference}/{placement}")
         section[name] = {"ports": reference, "completed": placement}
     return section
 

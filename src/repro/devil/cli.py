@@ -476,10 +476,12 @@ def _run_fleet(arguments) -> int:
                 monitor.stop()
         total = fleet.completed()
         accounting = fleet.accounting
+        # fleet.strategy is the *resolved* strategy: "auto" settles to
+        # native or specialize at bind time, and that is what ran.
         print(f"fleet: {len(devices)} devices "
               f"({', '.join(arguments.devices)}), "
               f"{arguments.workers} {fleet.backend} workers, "
-              f"{arguments.policy}, {arguments.strategy}")
+              f"{arguments.policy}, {fleet.strategy}")
         print(f"  {total} requests in {elapsed * 1e3:.1f} ms "
               f"({total / elapsed:.0f} req/s)")
         print(f"  port ops: total={accounting.total_ops} "
@@ -511,7 +513,8 @@ def _top_frame(fleet, health, previous, now) -> str:
     rows = health.check()
     telemetry = fleet.telemetry
     lines = [
-        f"devil top — {fleet.backend} backend, {len(rows)} workers, "
+        f"devil top — {fleet.backend} backend "
+        f"({fleet.strategy}), {len(rows)} workers, "
         f"stall window {health.stall_window():.2f}s",
         f"{'WORKER':<12} {'HEALTH':<8} {'DONE':>8} {'REQ/S':>7} "
         f"{'QUEUE':>5} {'BATCH':>5} {'P50us':>8} {'P95us':>8}  INFLIGHT",

@@ -53,7 +53,9 @@ from ..types import BoolType, EnumType, IntSetType, IntType
 # Bump whenever the emitted C changes shape: the native build cache keys
 # compiled shared libraries on this value, so stale .so files from an
 # older emitter are never dlopen'ed against a newer state-struct layout.
-CODEGEN_VERSION = 2
+# v3: per-entry port-table counters, per-device mutex, fail_buf and the
+# C-resident device models changed the devil_nat_bus_t ABI.
+CODEGEN_VERSION = 3
 
 _HEADER_MEMO_LOCK = threading.Lock()
 

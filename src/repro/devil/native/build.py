@@ -5,9 +5,14 @@ shared library with whatever C compiler the machine has (``$CC``,
 ``cc``, ``gcc`` or ``clang``, in that order).  Compiled libraries are
 cached on disk keyed by ``(source hash, debug flag, toolchain id,
 codegen version)`` so re-binds — and every bind after the first in a
-fleet — are instant; publication is atomic (``os.replace``) so
-concurrent builders race benignly.  Loaded handles are additionally
-memoized in-process: one ``dlopen`` per library per interpreter.
+fleet — are instant.  Cold-cache builds are serialized per target by
+an ``fcntl.flock`` on ``<target>.lock`` with a second existence check
+after acquisition, so N fleet workers (threads *or* processes)
+cold-binding the same spec concurrently produce exactly one compiler
+invocation; publication stays atomic (``os.replace``) as a belt for
+cross-host caches where flock may not reach.  Loaded handles are
+additionally memoized in-process: one ``dlopen`` per library per
+interpreter.
 
 No compiler is a supported configuration: :func:`find_compiler`
 returns ``None``, ``native_available()`` is ``False``, and
@@ -25,6 +30,11 @@ import tempfile
 import threading
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:                     # non-POSIX: atomic publish only
+    fcntl = None
+
 from ..codegen.c_backend import CODEGEN_VERSION
 from ..errors import DevilRuntimeError
 
@@ -33,7 +43,8 @@ from ..errors import DevilRuntimeError
 CACHE_ENV = "DEVIL_NATIVE_CACHE"
 
 #: Flags the cache key includes: changing them invalidates cached .so.
-CFLAGS = ("-O2", "-fPIC", "-shared", "-std=c99")
+#: ``-pthread`` backs the per-device mutex in the shim's entry frames.
+CFLAGS = ("-O2", "-fPIC", "-shared", "-std=c99", "-pthread")
 
 #: Number of actual compiler invocations this process performed
 #: (observable cache behaviour for tests and benchmarks).
@@ -136,24 +147,40 @@ def build_library(name: str, header: str, shim: str,
     if target.exists():
         return target
     directory.mkdir(parents=True, exist_ok=True)
-    workdir = Path(tempfile.mkdtemp(prefix=f"build-{name}-",
-                                    dir=directory))
+    # Serialize the cold build per target: without this, N workers
+    # racing an empty cache each spawn a compiler (correct but N× the
+    # cost, and historically a corruption risk against non-atomic
+    # caches).  flock is advisory, per open-file-description, and
+    # released on close even if the holder dies mid-compile.
+    lock_file = None
+    if fcntl is not None:
+        lock_file = open(directory / f"{target.name}.lock", "w")
+        fcntl.flock(lock_file, fcntl.LOCK_EX)
     try:
-        (workdir / f"{name}.dil.h").write_text(header)
-        source = workdir / f"{name}_shim.c"
-        source.write_text(shim)
-        produced = workdir / target.name
-        command = [cc, *CFLAGS, str(source), "-o", str(produced)]
-        result = subprocess.run(command, capture_output=True, text=True,
-                                cwd=workdir, timeout=120)
-        if result.returncode != 0:
-            raise NativeBuildError(
-                f"native build of spec {name!r} failed "
-                f"({' '.join(command)}):\n{result.stderr.strip()}")
-        BUILD_COUNT += 1
-        os.replace(produced, target)   # atomic publish; last writer wins
+        if target.exists():            # second check: lock-holder built it
+            return target
+        workdir = Path(tempfile.mkdtemp(prefix=f"build-{name}-",
+                                        dir=directory))
+        try:
+            (workdir / f"{name}.dil.h").write_text(header)
+            source = workdir / f"{name}_shim.c"
+            source.write_text(shim)
+            produced = workdir / target.name
+            command = [cc, *CFLAGS, str(source), "-o", str(produced)]
+            result = subprocess.run(command, capture_output=True,
+                                    text=True, cwd=workdir, timeout=120)
+            if result.returncode != 0:
+                raise NativeBuildError(
+                    f"native build of spec {name!r} failed "
+                    f"({' '.join(command)}):\n{result.stderr.strip()}")
+            BUILD_COUNT += 1
+            os.replace(produced, target)   # atomic publish
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
     finally:
-        shutil.rmtree(workdir, ignore_errors=True)
+        if lock_file is not None:
+            fcntl.flock(lock_file, fcntl.LOCK_UN)
+            lock_file.close()
     return target
 
 

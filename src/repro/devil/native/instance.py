@@ -35,18 +35,30 @@ abort the C frames and re-raise unchanged.
 from __future__ import annotations
 
 import ctypes
-from ctypes import (CFUNCTYPE, POINTER, Structure, c_char_p, c_int,
-                    c_ubyte, c_uint, c_ulong, c_ulonglong, c_void_p)
+import os
+from ctypes import (CFUNCTYPE, POINTER, Structure, c_char, c_char_p,
+                    c_int, c_ubyte, c_uint, c_ulong, c_ulonglong,
+                    c_void_p)
 
 from ... import obs
 from ...bus.bus import Bus, BusError, IoTraceEntry
+from ...bus.concurrent import ThreadSafeBus
 from ..errors import DevilRuntimeError
 from ..runtime import DeviceInstance
 from ..codegen.c_backend import generate_c_header
 from . import build
 from .build import NativeBuildError
-from .shim import (STATUS_CHECK, STATUS_NODEV, STATUS_PYERR,
-                   generate_shim, native_stub_table)
+from .shim import (STATUS_CHECK, STATUS_DEVERR, STATUS_NODEV,
+                   STATUS_PYERR, generate_shim, native_stub_table)
+
+#: Environment kill-switch for the C-resident device models (the
+#: ``--with-models`` shim variant).  On by default: parity is pinned by
+#: the four-way suites, and non-modelled devices are unaffected.
+MODELS_ENV = "DEVIL_NATIVE_MODELS"
+
+
+def models_enabled() -> bool:
+    return os.environ.get(MODELS_ENV, "1") not in ("0", "no", "off", "")
 
 #: Capacity of the C flight-recorder ring (last N direct-mode accesses).
 RING_CAPACITY = 256
@@ -63,7 +75,20 @@ _OBS_FN = CFUNCTYPE(None, c_void_p, c_char_p, c_char_p)
 
 
 class _PortEntry(Structure):
-    _fields_ = [("base", c_uint), ("size", c_uint), ("index", c_uint)]
+    """One bus mapping in the C port table.
+
+    ``model``/``mstate`` select an optional C-resident device model;
+    the trailing counters account direct-mode accesses *per entry* so
+    :meth:`_NativeCore.sync_accounting` can merge them into the owning
+    mapping's shard on a :class:`ThreadSafeBus` (exact per-device
+    accounting) or into ``bus.accounting`` on a plain :class:`Bus`.
+    """
+
+    _fields_ = [("base", c_uint), ("size", c_uint), ("index", c_uint),
+                ("model", c_int), ("mstate", c_void_p),
+                ("reads", c_ulonglong), ("writes", c_ulonglong),
+                ("w8", c_ulonglong), ("w16", c_ulonglong),
+                ("w32", c_ulonglong)]
 
 
 class _TraceEntry(Structure):
@@ -88,16 +113,13 @@ class _NatBus(Structure):
         ("aborted", c_int),
         ("ports", POINTER(_PortEntry)),
         ("n_ports", c_uint),
-        ("reads", c_ulonglong),
-        ("writes", c_ulonglong),
-        ("single_w8", c_ulonglong),
-        ("single_w16", c_ulonglong),
-        ("single_w32", c_ulonglong),
         ("ring", POINTER(_TraceEntry)),
         ("ring_cap", c_uint),
         ("ring_written", c_ulonglong),
         ("fail_msg", c_char_p),
         ("fail_port", c_uint),
+        ("dev_lock", c_void_p),
+        ("fail_buf", c_char * 256),
     ]
 
 
@@ -121,6 +143,18 @@ def _state_struct(model, debug: bool):
                 {"_fields_": fields})
 
 
+def _merge_counts(accounting, reads: int, writes: int,
+                  w8: int, w16: int, w32: int) -> None:
+    """Fold one port entry's direct-batch counters into an
+    :class:`IoAccounting` (a shard or the plain-bus totals)."""
+    accounting.reads += reads
+    accounting.writes += writes
+    by_width = accounting.single_by_width
+    for width, count in ((8, w8), (16, w16), (32, w32)):
+        if count:
+            by_width[width] = by_width.get(width, 0) + count
+
+
 class _NativeCore:
     """Library handle, ABI mirrors, callbacks and stub closures."""
 
@@ -129,11 +163,25 @@ class _NativeCore:
         self.bus = instance.bus
         model = instance.model
         self.prefix = model.name
+        self.with_models = instance.with_models
         header = generate_c_header(model, debug=instance.debug)
-        shim_source = generate_shim(model)
+        shim_source = generate_shim(model,
+                                    with_models=self.with_models)
         self.library_path = build.build_library(
             model.name, header, shim_source, instance.debug)
-        self._bind_entries(build.load_library(self.library_path))
+        lib = build.load_library(self.library_path)
+        self._bind_entries(lib)
+        if self.with_models:
+            from .models import ModelRegistry, check_model_abi
+            try:
+                check_model_abi(lib, self.prefix)
+            except RuntimeError as exc:
+                raise NativeBuildError(
+                    f"{exc}; clear {build.cache_dir()} and re-bind") \
+                    from exc
+            self.models = ModelRegistry()
+        else:
+            self.models = None
 
         struct_cls = _state_struct(model, instance.debug)
         if self.lib_state_size() != ctypes.sizeof(struct_cls):
@@ -147,6 +195,11 @@ class _NativeCore:
             raise NativeBuildError(
                 f"native library {self.library_path} disagrees with the "
                 f"devil_nat_bus_t ABI mirror; clear {build.cache_dir()} "
+                f"and re-bind")
+        if self.lib_port_size() != ctypes.sizeof(_PortEntry):
+            raise NativeBuildError(
+                f"native library {self.library_path} disagrees with the "
+                f"devil_nat_port_t ABI mirror; clear {build.cache_dir()} "
                 f"and re-bind")
         self.state = struct_cls()
         self.state_ptr = ctypes.cast(ctypes.pointer(self.state), c_void_p)
@@ -176,9 +229,30 @@ class _NativeCore:
         self.direct_devices: list = []
         self._port_stamp: tuple | None = None
         self._port_entries = None
+        self._port_mappings: list = []
+        self._table_bindings: list = []
+        self._own_all_modelled = False
         self.cbus = self._make_cbus()
         self.cbus_ptr = ctypes.cast(ctypes.pointer(self.cbus), c_void_p)
+        # Per-device recursive C mutex: entry frames hold it for the
+        # whole batch, so concurrent GIL-free batches against this
+        # binding serialize in C.
+        self._dev_lock = self.lib_lock_new()
+        self.cbus.dev_lock = self._dev_lock
         self.raw_stubs: dict[str, object] = {}
+
+    def __del__(self):
+        lock = getattr(self, "_dev_lock", None)
+        free = getattr(self, "lib_lock_free", None)
+        if lock and free is not None:
+            self._dev_lock = None
+            cbus = getattr(self, "cbus", None)
+            if cbus is not None:
+                cbus.dev_lock = None
+            try:
+                free(lock)
+            except Exception:       # interpreter teardown
+                pass
 
     # -- library entry points ------------------------------------------
 
@@ -210,6 +284,15 @@ class _NativeCore:
         self.lib_bus_size = getattr(lib, f"{p}_nat_bus_abi_size")
         self.lib_bus_size.argtypes = []
         self.lib_bus_size.restype = c_ulong
+        self.lib_port_size = getattr(lib, f"{p}_nat_port_abi_size")
+        self.lib_port_size.argtypes = []
+        self.lib_port_size.restype = c_ulong
+        self.lib_lock_new = getattr(lib, f"{p}_nat_lock_new")
+        self.lib_lock_new.argtypes = []
+        self.lib_lock_new.restype = c_void_p
+        self.lib_lock_free = getattr(lib, f"{p}_nat_lock_free")
+        self.lib_lock_free.argtypes = [c_void_p]
+        self.lib_lock_free.restype = None
 
     # -- callbacks ------------------------------------------------------
 
@@ -326,6 +409,11 @@ class _NativeCore:
         if status == STATUS_NODEV:
             raise BusError(f"no device mapped at port "
                            f"{cbus.fail_port:#x}")
+        if status == STATUS_DEVERR:
+            # A C-resident device model raised: same exception type and
+            # message the Python model would have produced.
+            message = cbus.fail_msg or b"native device model error"
+            raise BusError(message.decode("ascii", "replace"))
         raise DevilRuntimeError(
             f"native dispatch failed with status {status} "
             f"(stub table / library version skew)",
@@ -336,51 +424,115 @@ class _NativeCore:
     def enter_direct(self) -> bool:
         """Switch a batch to port-table dispatch when exactness allows.
 
-        Only a plain (non-thread-safe) bus with tracing off and no
-        collector qualifies: those paths need the per-access Python
-        hooks, so their batches stay on the callback route.
+        Tracing or a collector always disqualify: those paths need the
+        per-access Python hooks, so their batches stay on the callback
+        route.  A plain :class:`Bus` qualifies unconditionally.  A
+        :class:`ThreadSafeBus` (the zero-latency fleet bus) qualifies
+        only when every mapping this instance owns has a C-resident
+        model: the batch then runs entirely in C with the GIL released
+        (ctypes drops it around the foreign call and no callback ever
+        reacquires it), serialized per device by the C mutex — the
+        Python ``mapping.lock`` is never needed because fleet sessions
+        are exclusive per device and per-entry counters merge into the
+        shard under its lock at batch exit.  Subclasses (e.g. the
+        latency-modelling fleet bus) never qualify: their per-access
+        hooks are semantics.
         """
         bus = self.bus
-        if type(bus) is not Bus or bus.tracing or \
-                bus.collector is not None:
+        if bus.tracing or bus.collector is not None:
             return False
-        self._refresh_port_table()
+        bus_type = type(bus)
+        if bus_type is Bus:
+            self._refresh_port_table()
+        elif bus_type is ThreadSafeBus:
+            self._refresh_port_table()
+            if not self._own_all_modelled:
+                return False
+        else:
+            return False
+        for binding in self._table_bindings:
+            binding.sync_to_c()
         self.cbus.direct = 1
         return True
 
     def leave_direct(self) -> None:
         self.cbus.direct = 0
+        for binding in self._table_bindings:
+            binding.sync_to_py()
         self.sync_accounting()
 
     def _refresh_port_table(self) -> None:
-        mappings = self.bus._mappings
-        stamp = tuple(id(m) for m in mappings)
+        mappings = list(self.bus._mappings)
+        stamp = tuple((id(m), id(m.device)) for m in mappings)
         if stamp == self._port_stamp:
             return
+        from .models import SyncedFallback
+
         entries = (_PortEntry * max(len(mappings), 1))()
+        own_bases = set(self.instance.bases.values())
+        devices: list = []
+        bindings: list = []
+        own_modelled = self.models is not None
         for i, mapping in enumerate(mappings):
-            entries[i] = _PortEntry(mapping.base, mapping.size, i)
+            entries[i].base = mapping.base
+            entries[i].size = mapping.size
+            entries[i].index = i
+            device = mapping.device
+            attached = None
+            # Only mappings this instance *owns* get a C model: another
+            # instance's device must not be mirrored from here, or two
+            # cores would clobber each other's sync points.
+            if self.models is not None and mapping.base in own_bases:
+                attached = self.models.binding_for(device)
+            if attached is not None:
+                kind, binding = attached
+                entries[i].model = kind
+                entries[i].mstate = ctypes.cast(
+                    ctypes.pointer(binding.cstate), c_void_p)
+                devices.append(SyncedFallback(binding, device))
+                if binding not in bindings:
+                    bindings.append(binding)
+            else:
+                devices.append(device)
+                if mapping.base in own_bases:
+                    own_modelled = False
         self._port_entries = entries        # keep alive
-        self.direct_devices = [m.device for m in mappings]
+        self._port_mappings = mappings
+        self._table_bindings = bindings
+        self._own_all_modelled = own_modelled
+        self.direct_devices = devices
         self.cbus.ports = entries
         self.cbus.n_ports = len(mappings)
         self._port_stamp = stamp
 
     def sync_accounting(self) -> None:
-        """Merge the C counters of the last direct batch into the bus."""
-        cbus = self.cbus
-        if not (cbus.reads or cbus.writes):
+        """Merge per-entry C counters of the last direct batch.
+
+        On a :class:`ThreadSafeBus` each entry's counts land in the
+        owning mapping's shard (under its lock), keeping
+        ``accounting_by_device()`` exact; on a plain :class:`Bus` they
+        land in ``bus.accounting`` directly.
+        """
+        entries = self._port_entries
+        if entries is None:
             return
-        accounting = self.bus.accounting
-        accounting.reads += cbus.reads
-        accounting.writes += cbus.writes
-        by_width = accounting.single_by_width
-        for width, count in ((8, cbus.single_w8), (16, cbus.single_w16),
-                             (32, cbus.single_w32)):
-            if count:
-                by_width[width] = by_width.get(width, 0) + count
-        cbus.reads = cbus.writes = 0
-        cbus.single_w8 = cbus.single_w16 = cbus.single_w32 = 0
+        fallback = None
+        for entry, mapping in zip(entries, self._port_mappings):
+            reads, writes = entry.reads, entry.writes
+            if not (reads or writes):
+                continue
+            w8, w16, w32 = entry.w8, entry.w16, entry.w32
+            entry.reads = entry.writes = 0
+            entry.w8 = entry.w16 = entry.w32 = 0
+            shard = getattr(mapping, "shard", None)
+            lock = getattr(mapping, "lock", None)
+            if shard is not None and lock is not None:
+                with lock:
+                    _merge_counts(shard, reads, writes, w8, w16, w32)
+            else:
+                if fallback is None:
+                    fallback = self.bus.accounting
+                _merge_counts(fallback, reads, writes, w8, w16, w32)
 
     # -- caches ---------------------------------------------------------
 
@@ -603,7 +755,8 @@ class NativeDeviceInstance(DeviceInstance):
 
     def __init__(self, model, bus, bases, debug: bool = True,
                  composition: str = "cache",
-                 shadow_cache: bool = False):
+                 shadow_cache: bool = False,
+                 with_models: bool | None = None):
         if composition != "cache":
             raise DevilRuntimeError(
                 f"strategy='native' supports only composition='cache' "
@@ -618,6 +771,8 @@ class NativeDeviceInstance(DeviceInstance):
                          composition="cache", strategy="interpret",
                          shadow_cache=False)
         self.strategy = "native"
+        self.with_models = models_enabled() if with_models is None \
+            else bool(with_models)
         self._native = _NativeCore(self)
         self._native.install()
         if self._instrumented:

@@ -1,0 +1,805 @@
+"""C-resident simulated device models for the native strategy.
+
+PR 8 made batched stub dispatch cross the Python↔C boundary once per
+batch — but every port access still called back into the Python device
+model, so I/O-touching batches reacquired the GIL on every operation.
+This module ports the *hot register files* of the two
+benchmark-dominant devices into C:
+
+* the IDE disk (:class:`repro.devices.ide.IdeDiskModel`): taskfile
+  reads/writes, the status-register IRQ-ack read, and the PIO data
+  port including multi-sector block reload/commit;
+* the Permedia2 (:class:`repro.devices.permedia2.Permedia2Model`):
+  FIFO-modelled register writes, the rect/fill/copy render engine,
+  and the linear framebuffer aperture.
+
+The Python dataclasses stay the single source of truth for *cold*
+state and rare paths — IDE command execution (``_execute``) and
+device-control writes (soft reset) fall back to the Python model via a
+:class:`SyncedFallback` proxy that re-syncs the mirror either way, so
+DMA bookkeeping and the identify block never need a C port.
+
+Exactness contract: every C handler reproduces the Python model's
+observable semantics bit-for-bit — field update order, FIFO push
+before decode, counter increments *before* an unknown-command error,
+the copy-source bounds check even for empty clipped rectangles, and
+the exact :class:`BusError` message strings (raised from C via
+``devil_nat_fail_fmt`` → status ``DEVIL_NAT_DEVERR``).  The four-way
+parity suites and the golden I/O gate hold the contract.
+
+Mirrors share memory where possible: the IDE backing store is mapped
+with ``(c_ubyte * n).from_buffer(bytearray)`` and the Permedia2
+framebuffer is the numpy array's own buffer, so bulk pixel/sector data
+is never copied at sync points — only scalars are.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from ctypes import (
+    POINTER,
+    c_char,
+    c_int,
+    c_longlong,
+    c_ubyte,
+    c_uint,
+    c_ulong,
+    c_ulonglong,
+    c_void_p,
+)
+
+from ...devices.ide import SECTOR_SIZE, IdeControlPort, IdeDiskModel
+from ...devices.permedia2 import Permedia2Aperture, Permedia2Model
+
+#: Model kinds carried in ``devil_nat_port_t.model``.
+MODEL_NONE = 0
+MODEL_IDE = 1
+MODEL_IDE_CTRL = 2
+MODEL_PM2 = 3
+MODEL_PM2_FB = 4
+
+_DIRECTION_CODE = {"": 0, "read": 1, "write": 2}
+_DIRECTION_NAME = ("", "read", "write")
+
+
+def model_c_source() -> str:
+    """The spec-independent C model code embedded in ``--with-models``
+    shims.  Everything is ``static``, so per-spec libraries each carry
+    their own copy and never collide at dynamic-link time."""
+    return _MODEL_C
+
+
+_MODEL_C = r"""
+/* ---- C-resident device models (--with-models build variant) ------ */
+/* Kinds in devil_nat_port_t.model: 1 = IDE disk, 2 = IDE control,    */
+/* 3 = Permedia2 registers, 4 = Permedia2 framebuffer aperture.       */
+
+typedef struct devil_nat_ide {
+    unsigned features, nsect, lba_low, lba_mid, lba_high, device;
+    unsigned control;
+    unsigned status, error, multiple_count;
+    unsigned long long interrupts_raised;
+    int irq_pending;
+    int direction;             /* 0 idle, 1 read, 2 write */
+    unsigned current_lba;
+    long long remaining;
+    unsigned block_sectors;
+    unsigned long long buf_len, buf_pos;
+    unsigned char *buffer;     /* scratch PIO buffer, capacity buf_cap */
+    unsigned long long buf_cap;
+    unsigned char *store;      /* shared with the Python bytearray */
+    unsigned long long store_len;
+} devil_nat_ide_t;
+
+typedef struct devil_nat_pm2 {
+    unsigned fifo_used, drain_per_poll;
+    unsigned block_color, rect_x, rect_y, rect_width, rect_height;
+    int copy_dx, copy_dy;
+    unsigned depth_code;
+    unsigned scissor_min_x, scissor_min_y;
+    unsigned scissor_max_x, scissor_max_y;
+    unsigned write_mask, logical_op;
+    unsigned window_origin_x, window_origin_y;
+    unsigned long long fb_address;
+    unsigned *fb;              /* shared with the numpy framebuffer */
+    unsigned fb_width, fb_height;
+    unsigned long long pixels_filled, pixels_copied, bytes_touched;
+    unsigned long long primitives, fifo_overflows;
+} devil_nat_pm2_t;
+
+#define DEVIL_NAT_IDE_ERR 0x01u
+#define DEVIL_NAT_IDE_DRQ 0x08u
+
+static void devil_nat_ide_irq(devil_nat_ide_t *d)
+{
+    d->interrupts_raised++;
+    d->irq_pending = 1;
+}
+
+static void devil_nat_ide_load_read_block(devil_nat_ide_t *d)
+{
+    unsigned long long sectors = d->block_sectors;
+    unsigned long long start, want, avail;
+    if ((long long)sectors > d->remaining)
+        sectors = (unsigned long long)d->remaining;
+    start = (unsigned long long)d->current_lba * 512ull;
+    want = sectors * 512ull;
+    avail = start < d->store_len ? d->store_len - start : 0ull;
+    if (want > avail)          /* mirrors the Python slice truncation */
+        want = avail;
+    if (want > d->buf_cap)
+        want = d->buf_cap;
+    memcpy(d->buffer, d->store + start, (size_t)want);
+    d->buf_len = want;
+    d->buf_pos = 0;
+    d->current_lba += (unsigned)sectors;
+    d->remaining -= (long long)sectors;
+    d->status |= DEVIL_NAT_IDE_DRQ;
+}
+
+static void devil_nat_ide_open_write_block(devil_nat_ide_t *d)
+{
+    unsigned long long sectors = d->block_sectors;
+    if ((long long)sectors > d->remaining)
+        sectors = (unsigned long long)d->remaining;
+    d->buf_len = sectors * 512ull;
+    if (d->buf_len > d->buf_cap)
+        d->buf_len = d->buf_cap;
+    memset(d->buffer, 0, (size_t)d->buf_len);
+    d->buf_pos = 0;
+    d->status |= DEVIL_NAT_IDE_DRQ;
+}
+
+static void devil_nat_ide_commit_write_block(devil_nat_ide_t *d)
+{
+    unsigned long long sectors = d->buf_len / 512ull;
+    unsigned long long start = (unsigned long long)d->current_lba * 512ull;
+    unsigned long long n = d->buf_len;
+    if (start < d->store_len) {
+        if (n > d->store_len - start)
+            n = d->store_len - start;
+        memcpy(d->store + start, d->buffer, (size_t)n);
+    }
+    d->current_lba += (unsigned)sectors;
+    d->remaining -= (long long)sectors;
+    devil_nat_ide_irq(d);
+    if (d->remaining > 0) {
+        devil_nat_ide_open_write_block(d);
+    } else {
+        d->status &= ~DEVIL_NAT_IDE_DRQ;
+        d->direction = 0;
+    }
+}
+
+static unsigned devil_nat_ide_data_read(devil_nat_ide_t *d, int width)
+{
+    unsigned size = (unsigned)width / 8u, value = 0u, i;
+    if (!(d->status & DEVIL_NAT_IDE_DRQ) || d->direction != 1)
+        devil_nat_fail_fmt("data-port read without pending read DRQ");
+    for (i = 0; i < size; i++)
+        if (d->buf_pos + i < d->buf_len)
+            value |= (unsigned)d->buffer[d->buf_pos + i] << (8u * i);
+    d->buf_pos += size;
+    if (d->buf_pos >= d->buf_len) {
+        if (d->remaining > 0) {
+            devil_nat_ide_load_read_block(d);
+            devil_nat_ide_irq(d);
+        } else {
+            d->status &= ~DEVIL_NAT_IDE_DRQ;
+            d->direction = 0;
+        }
+    }
+    return value;
+}
+
+static void devil_nat_ide_data_write(devil_nat_ide_t *d,
+                                     unsigned value, int width)
+{
+    unsigned size = (unsigned)width / 8u, i;
+    unsigned long long end;
+    if (!(d->status & DEVIL_NAT_IDE_DRQ) || d->direction != 2)
+        devil_nat_fail_fmt("data-port write without pending write DRQ");
+    for (i = 0; i < size; i++)
+        if (d->buf_pos + i < d->buf_cap)
+            d->buffer[d->buf_pos + i] =
+                (unsigned char)((value >> (8u * i)) & 0xFFu);
+    /* bytearray slice assignment can extend the buffer past its end */
+    end = d->buf_pos + size;
+    if (end > d->buf_len)
+        d->buf_len = end > d->buf_cap ? d->buf_cap : end;
+    d->buf_pos += size;
+    if (d->buf_pos >= d->buf_len)
+        devil_nat_ide_commit_write_block(d);
+}
+
+static unsigned devil_nat_ide_read(devil_nat_ide_t *d,
+                                   unsigned off, int width)
+{
+    if (off == 0u) {
+        if (width != 16 && width != 32)
+            devil_nat_fail_fmt(
+                "IDE data port takes 16/32-bit accesses, got %d", width);
+        return devil_nat_ide_data_read(d, width);
+    }
+    if (width != 8)
+        devil_nat_fail_fmt(
+            "IDE taskfile registers are 8-bit, got %d", width);
+    switch (off) {
+    case 1u: return d->error;
+    case 2u: return d->nsect;
+    case 3u: return d->lba_low;
+    case 4u: return d->lba_mid;
+    case 5u: return d->lba_high;
+    case 6u: return d->device;
+    case 7u: d->irq_pending = 0; return d->status;
+    }
+    devil_nat_fail_fmt("IDE has no readable offset %u", off);
+    return 0u;
+}
+
+/* Returns 1 when handled in C; 0 defers to the Python fallback.
+ * Command writes (offset 7) defer: _execute() touches DMA request
+ * objects and the identify block, which stay Python-side. */
+static int devil_nat_ide_write(devil_nat_ide_t *d, unsigned off,
+                               unsigned value, int width)
+{
+    if (off == 0u) {
+        if (width != 16 && width != 32)
+            devil_nat_fail_fmt(
+                "IDE data port takes 16/32-bit accesses, got %d", width);
+        devil_nat_ide_data_write(d, value, width);
+        return 1;
+    }
+    if (off == 7u)
+        return 0;
+    if (width != 8)
+        devil_nat_fail_fmt(
+            "IDE taskfile registers are 8-bit, got %d", width);
+    switch (off) {
+    case 1u: d->features = value; return 1;
+    case 2u: d->nsect = value; return 1;
+    case 3u: d->lba_low = value; return 1;
+    case 4u: d->lba_mid = value; return 1;
+    case 5u: d->lba_high = value; return 1;
+    case 6u: d->device = value; return 1;
+    }
+    devil_nat_fail_fmt("IDE has no writable offset %u", off);
+    return 0;
+}
+
+static unsigned devil_nat_ide_ctrl_read(devil_nat_ide_t *d,
+                                        unsigned off, int width)
+{
+    if (off != 0u || width != 8)
+        devil_nat_fail_fmt("IDE control block is one 8-bit register");
+    return d->status;    /* alternate status: no IRQ acknowledge */
+}
+
+static int devil_nat_signed16(unsigned value)
+{
+    return value >= 0x8000u ? (int)value - 0x10000 : (int)value;
+}
+
+static void devil_nat_pm2_clip(devil_nat_pm2_t *g,
+                               long long *rx0, long long *ry0,
+                               long long *rx1, long long *ry1)
+{
+    long long x0 = (long long)g->rect_x + g->window_origin_x;
+    long long y0 = (long long)g->rect_y + g->window_origin_y;
+    long long x1 = x0 + g->rect_width;
+    long long y1 = y0 + g->rect_height;
+    if (x0 < (long long)g->scissor_min_x) x0 = g->scissor_min_x;
+    if (x0 < 0) x0 = 0;
+    if (y0 < (long long)g->scissor_min_y) y0 = g->scissor_min_y;
+    if (y0 < 0) y0 = 0;
+    if (x1 > (long long)g->scissor_max_x) x1 = g->scissor_max_x;
+    if (x1 > (long long)g->fb_width) x1 = g->fb_width;
+    if (y1 > (long long)g->scissor_max_y) y1 = g->scissor_max_y;
+    if (y1 > (long long)g->fb_height) y1 = g->fb_height;
+    if (x1 <= x0 || y1 <= y0) {
+        *rx0 = *ry0 = *rx1 = *ry1 = 0;
+        return;
+    }
+    *rx0 = x0; *ry0 = y0; *rx1 = x1; *ry1 = y1;
+}
+
+static void devil_nat_pm2_render(devil_nat_pm2_t *g, unsigned command)
+{
+    static const unsigned depth_bytes[4] = {1u, 2u, 3u, 4u};
+    long long x0, y0, x1, y1, r, c;
+    unsigned long long pixels;
+    if (command == 3u) {       /* sync: drain the FIFO */
+        g->fifo_used = 0u;
+        return;
+    }
+    devil_nat_pm2_clip(g, &x0, &y0, &x1, &y1);
+    pixels = (unsigned long long)(x1 - x0) * (unsigned long long)(y1 - y0);
+    /* counters move before command decode, exactly like the Python
+     * model — an unknown command still costs a primitive */
+    g->primitives++;
+    g->bytes_touched += pixels * depth_bytes[g->depth_code & 3u];
+    if (command == 1u) {       /* fill */
+        for (r = y0; r < y1; r++) {
+            unsigned *row = g->fb + (size_t)r * g->fb_width;
+            for (c = x0; c < x1; c++)
+                row[c] = g->block_color;
+        }
+        g->pixels_filled += pixels;
+    } else if (command == 2u) {  /* copy */
+        long long sx0 = x0 + g->copy_dx, sy0 = y0 + g->copy_dy;
+        long long sx1 = x1 + g->copy_dx, sy1 = y1 + g->copy_dy;
+        /* bounds-checked even for an empty clipped rectangle, exactly
+         * like the Python model */
+        if (!(0 <= sx0 && sx1 <= (long long)g->fb_width &&
+              0 <= sy0 && sy1 <= (long long)g->fb_height))
+            devil_nat_fail_fmt("copy source rectangle outside framebuffer");
+        if (pixels) {
+            /* numpy copies the source slice first; mirror with a
+             * scratch buffer so overlapping rects behave identically */
+            size_t row_words = (size_t)(x1 - x0);
+            unsigned *tmp =
+                (unsigned *)malloc((size_t)pixels * sizeof(unsigned));
+            if (!tmp)
+                devil_nat_fail_fmt("native copy scratch allocation failed");
+            for (r = 0; r < y1 - y0; r++)
+                memcpy(tmp + (size_t)r * row_words,
+                       g->fb + (size_t)(sy0 + r) * g->fb_width + sx0,
+                       row_words * sizeof(unsigned));
+            for (r = 0; r < y1 - y0; r++)
+                memcpy(g->fb + (size_t)(y0 + r) * g->fb_width + x0,
+                       tmp + (size_t)r * row_words,
+                       row_words * sizeof(unsigned));
+            free(tmp);
+        }
+        g->pixels_copied += pixels;
+    } else {
+        devil_nat_fail_fmt("unknown render command 0b00");
+    }
+}
+
+static unsigned devil_nat_pm2_read(devil_nat_pm2_t *g,
+                                   unsigned off, int width)
+{
+    if (width != 32)
+        devil_nat_fail_fmt(
+            "Permedia2 registers are 32-bit, got %d", width);
+    if (off == 0u) {           /* FIFO space: polling drains */
+        g->fifo_used = g->fifo_used > g->drain_per_poll
+            ? g->fifo_used - g->drain_per_poll : 0u;
+        return 32u - g->fifo_used;
+    }
+    if (off == 6u)
+        return g->fifo_used > 0u ? 1u : 0u;
+    devil_nat_fail_fmt("Permedia2 offset %u is not readable", off);
+    return 0u;
+}
+
+static int devil_nat_pm2_write(devil_nat_pm2_t *g, unsigned off,
+                               unsigned value, int width)
+{
+    if (width != 32)
+        devil_nat_fail_fmt(
+            "Permedia2 registers are 32-bit, got %d", width);
+    if (off < 1u || off > 13u)
+        devil_nat_fail_fmt("Permedia2 offset %u is not writable", off);
+    /* FIFO push happens before decode, like the Python model */
+    if (g->fifo_used >= 32u) {
+        g->fifo_overflows++;
+        g->fifo_used = 32u;
+    } else {
+        g->fifo_used++;
+    }
+    switch (off) {
+    case 1u: g->block_color = value; break;
+    case 2u:
+        g->rect_x = value & 0xFFFFu;
+        g->rect_y = (value >> 16) & 0xFFFFu;
+        break;
+    case 3u:
+        g->rect_width = value & 0xFFFFu;
+        g->rect_height = (value >> 16) & 0xFFFFu;
+        break;
+    case 4u:
+        g->copy_dx = devil_nat_signed16(value & 0xFFFFu);
+        g->copy_dy = devil_nat_signed16((value >> 16) & 0xFFFFu);
+        break;
+    case 5u: devil_nat_pm2_render(g, value & 3u); break;
+    case 7u: g->depth_code = value & 3u; break;
+    case 8u:
+        g->scissor_min_x = value & 0xFFFFu;
+        g->scissor_min_y = (value >> 16) & 0xFFFFu;
+        break;
+    case 9u:
+        g->scissor_max_x = value & 0xFFFFu;
+        g->scissor_max_y = (value >> 16) & 0xFFFFu;
+        break;
+    case 10u: g->write_mask = value; break;
+    case 11u: g->logical_op = value & 0xFu; break;
+    case 12u:
+        g->window_origin_x = value & 0xFFFFu;
+        g->window_origin_y = (value >> 16) & 0xFFFFu;
+        break;
+    case 13u: g->fb_address = value; break;
+    default: break;            /* offset 6: FIFO-pushed, then ignored */
+    }
+    return 1;
+}
+
+static unsigned devil_nat_pm2_fb_read(devil_nat_pm2_t *g,
+                                      unsigned off, int width)
+{
+    unsigned long long index, y, x;
+    if (off != 0u)
+        devil_nat_fail_fmt("the aperture decodes a single address");
+    if (width != 32)
+        devil_nat_fail_fmt("the framebuffer aperture is 32-bit");
+    index = g->fb_address;
+    y = index / g->fb_width;
+    x = index % g->fb_width;
+    if (y >= (unsigned long long)g->fb_height)
+        devil_nat_fail_fmt(
+            "aperture address %llu outside framebuffer", index);
+    g->fb_address = index + 1ull;
+    return g->fb[(size_t)y * g->fb_width + x];
+}
+
+static int devil_nat_pm2_fb_write(devil_nat_pm2_t *g, unsigned off,
+                                  unsigned value, int width)
+{
+    unsigned long long index, y, x;
+    if (off != 0u)
+        devil_nat_fail_fmt("the aperture decodes a single address");
+    if (width != 32)
+        devil_nat_fail_fmt("the framebuffer aperture is 32-bit");
+    index = g->fb_address;
+    y = index / g->fb_width;
+    x = index % g->fb_width;
+    if (y >= (unsigned long long)g->fb_height)
+        devil_nat_fail_fmt(
+            "aperture address %llu outside framebuffer", index);
+    g->fb[(size_t)y * g->fb_width + x] = value;
+    g->fb_address = index + 1ull;
+    return 1;
+}
+
+static int devil_nat_model_in(devil_nat_port_t *m, unsigned off,
+                              int width, unsigned *value)
+{
+    switch (m->model) {
+    case 1:
+        *value = devil_nat_ide_read(
+            (devil_nat_ide_t *)m->mstate, off, width);
+        return 1;
+    case 2:
+        *value = devil_nat_ide_ctrl_read(
+            (devil_nat_ide_t *)m->mstate, off, width);
+        return 1;
+    case 3:
+        *value = devil_nat_pm2_read(
+            (devil_nat_pm2_t *)m->mstate, off, width);
+        return 1;
+    case 4:
+        *value = devil_nat_pm2_fb_read(
+            (devil_nat_pm2_t *)m->mstate, off, width);
+        return 1;
+    }
+    return 0;
+}
+
+static int devil_nat_model_out(devil_nat_port_t *m, unsigned off,
+                               unsigned value, int width)
+{
+    switch (m->model) {
+    case 1:
+        return devil_nat_ide_write(
+            (devil_nat_ide_t *)m->mstate, off, value, width);
+    case 2:
+        return 0;              /* soft reset clears DMA state: Python */
+    case 3:
+        return devil_nat_pm2_write(
+            (devil_nat_pm2_t *)m->mstate, off, value, width);
+    case 4:
+        return devil_nat_pm2_fb_write(
+            (devil_nat_pm2_t *)m->mstate, off, value, width);
+    }
+    return 0;
+}
+/* ---- end C-resident device models -------------------------------- */
+"""
+
+
+class _IdeCState(ctypes.Structure):
+    """ctypes mirror of ``devil_nat_ide_t`` — field-for-field."""
+
+    _fields_ = [
+        ("features", c_uint), ("nsect", c_uint), ("lba_low", c_uint),
+        ("lba_mid", c_uint), ("lba_high", c_uint), ("device", c_uint),
+        ("control", c_uint),
+        ("status", c_uint), ("error", c_uint), ("multiple_count", c_uint),
+        ("interrupts_raised", c_ulonglong),
+        ("irq_pending", c_int),
+        ("direction", c_int),
+        ("current_lba", c_uint),
+        ("remaining", c_longlong),
+        ("block_sectors", c_uint),
+        ("buf_len", c_ulonglong), ("buf_pos", c_ulonglong),
+        ("buffer", POINTER(c_ubyte)),
+        ("buf_cap", c_ulonglong),
+        ("store", POINTER(c_ubyte)),
+        ("store_len", c_ulonglong),
+    ]
+
+
+class _Pm2CState(ctypes.Structure):
+    """ctypes mirror of ``devil_nat_pm2_t`` — field-for-field."""
+
+    _fields_ = [
+        ("fifo_used", c_uint), ("drain_per_poll", c_uint),
+        ("block_color", c_uint),
+        ("rect_x", c_uint), ("rect_y", c_uint),
+        ("rect_width", c_uint), ("rect_height", c_uint),
+        ("copy_dx", c_int), ("copy_dy", c_int),
+        ("depth_code", c_uint),
+        ("scissor_min_x", c_uint), ("scissor_min_y", c_uint),
+        ("scissor_max_x", c_uint), ("scissor_max_y", c_uint),
+        ("write_mask", c_uint), ("logical_op", c_uint),
+        ("window_origin_x", c_uint), ("window_origin_y", c_uint),
+        ("fb_address", c_ulonglong),
+        ("fb", POINTER(c_uint)),
+        ("fb_width", c_uint), ("fb_height", c_uint),
+        ("pixels_filled", c_ulonglong), ("pixels_copied", c_ulonglong),
+        ("bytes_touched", c_ulonglong),
+        ("primitives", c_ulonglong), ("fifo_overflows", c_ulonglong),
+    ]
+
+
+def check_model_abi(lib, prefix: str) -> None:
+    """Refuse a ``--with-models`` library whose C struct layouts
+    disagree with the ctypes mirrors (compiler padding drift)."""
+    for symbol, mirror in ((f"{prefix}_nat_ide_model_size", _IdeCState),
+                           (f"{prefix}_nat_pm2_model_size", _Pm2CState)):
+        probe = getattr(lib, symbol)
+        probe.argtypes = []
+        probe.restype = c_ulong
+        compiled = probe()
+        expected = ctypes.sizeof(mirror)
+        if compiled != expected:
+            raise RuntimeError(
+                f"native model ABI mismatch: {symbol}() = {compiled}, "
+                f"ctypes mirror = {expected}")
+
+
+class IdeBinding:
+    """Two-way scalar sync between an :class:`IdeDiskModel` and its C
+    mirror.  The backing store is shared (zero-copy); the PIO buffer
+    lives in a C-side scratch region sized for the largest possible
+    transfer and is copied at sync points (it is small and bounded)."""
+
+    def __init__(self, disk: IdeDiskModel):
+        self.disk = disk
+        self.cstate = _IdeCState()
+        capacity = max(len(disk.store), SECTOR_SIZE)
+        self._scratch = (c_ubyte * capacity)()
+        self.cstate.buffer = self._scratch
+        self.cstate.buf_cap = capacity
+        self._store_obj: bytearray | None = None
+        self._store_ref = None
+
+    def _refresh_store(self) -> None:
+        store = self.disk.store
+        if store is self._store_obj:
+            return
+        self._store_obj = store
+        if len(store):
+            self._store_ref = (c_ubyte * len(store)).from_buffer(store)
+            self.cstate.store = ctypes.cast(self._store_ref,
+                                            POINTER(c_ubyte))
+        else:
+            self._store_ref = None
+            self.cstate.store = None
+        self.cstate.store_len = len(store)
+
+    def sync_to_c(self) -> None:
+        disk, s = self.disk, self.cstate
+        self._refresh_store()
+        s.features = disk.features
+        s.nsect = disk.nsect
+        s.lba_low = disk.lba_low
+        s.lba_mid = disk.lba_mid
+        s.lba_high = disk.lba_high
+        s.device = disk.device
+        s.control = disk.control
+        s.status = disk.status
+        s.error = disk.error
+        s.multiple_count = disk.multiple_count
+        s.interrupts_raised = disk.interrupts_raised
+        s.irq_pending = 1 if disk.irq_pending else 0
+        s.direction = _DIRECTION_CODE[disk._direction]
+        s.current_lba = disk._current_lba
+        s.remaining = disk._remaining
+        s.block_sectors = disk._block_sectors
+        buffer = disk._buffer
+        length = len(buffer)
+        if length > s.buf_cap:
+            self._scratch = (c_ubyte * length)()
+            s.buffer = self._scratch
+            s.buf_cap = length
+        if length:
+            ctypes.memmove(self._scratch, bytes(buffer), length)
+        s.buf_len = length
+        s.buf_pos = disk._buffer_pos
+
+    def sync_to_py(self) -> None:
+        disk, s = self.disk, self.cstate
+        disk.features = int(s.features)
+        disk.nsect = int(s.nsect)
+        disk.lba_low = int(s.lba_low)
+        disk.lba_mid = int(s.lba_mid)
+        disk.lba_high = int(s.lba_high)
+        disk.device = int(s.device)
+        disk.control = int(s.control)
+        disk.status = int(s.status)
+        disk.error = int(s.error)
+        disk.multiple_count = int(s.multiple_count)
+        disk.interrupts_raised = int(s.interrupts_raised)
+        disk.irq_pending = bool(s.irq_pending)
+        disk._direction = _DIRECTION_NAME[s.direction]
+        disk._current_lba = int(s.current_lba)
+        disk._remaining = int(s.remaining)
+        disk._block_sectors = int(s.block_sectors)
+        length = int(s.buf_len)
+        disk._buffer = bytearray(
+            ctypes.string_at(self._scratch, length)) if length \
+            else bytearray()
+        disk._buffer_pos = int(s.buf_pos)
+
+
+class Pm2Binding:
+    """Two-way scalar sync between a :class:`Permedia2Model` and its C
+    mirror.  The framebuffer is the numpy array's own memory — fills
+    and copies in C mutate the Python-visible pixels directly."""
+
+    def __init__(self, gpu: Permedia2Model):
+        self.gpu = gpu
+        self.cstate = _Pm2CState()
+        self._fb_obj = None
+
+    def _refresh_framebuffer(self) -> None:
+        fb = self.gpu.framebuffer
+        if fb is self._fb_obj:
+            return
+        self._fb_obj = fb
+        self.cstate.fb = fb.ctypes.data_as(POINTER(c_uint))
+        self.cstate.fb_height, self.cstate.fb_width = fb.shape
+
+    def sync_to_c(self) -> None:
+        gpu, s = self.gpu, self.cstate
+        self._refresh_framebuffer()
+        s.fifo_used = gpu.fifo_used
+        s.drain_per_poll = gpu.drain_per_poll
+        s.block_color = gpu.block_color
+        s.rect_x = gpu.rect_x
+        s.rect_y = gpu.rect_y
+        s.rect_width = gpu.rect_width
+        s.rect_height = gpu.rect_height
+        s.copy_dx = gpu.copy_dx
+        s.copy_dy = gpu.copy_dy
+        s.depth_code = gpu.depth_code
+        s.scissor_min_x, s.scissor_min_y = gpu.scissor_min
+        s.scissor_max_x, s.scissor_max_y = gpu.scissor_max
+        s.write_mask = gpu.write_mask
+        s.logical_op = gpu.logical_op
+        s.window_origin_x, s.window_origin_y = gpu.window_origin
+        s.fb_address = gpu.fb_address
+        s.pixels_filled = gpu.pixels_filled
+        s.pixels_copied = gpu.pixels_copied
+        s.bytes_touched = gpu.bytes_touched
+        s.primitives = gpu.primitives
+        s.fifo_overflows = gpu.fifo_overflows
+
+    def sync_to_py(self) -> None:
+        gpu, s = self.gpu, self.cstate
+        gpu.fifo_used = int(s.fifo_used)
+        gpu.drain_per_poll = int(s.drain_per_poll)
+        gpu.block_color = int(s.block_color)
+        gpu.rect_x = int(s.rect_x)
+        gpu.rect_y = int(s.rect_y)
+        gpu.rect_width = int(s.rect_width)
+        gpu.rect_height = int(s.rect_height)
+        gpu.copy_dx = int(s.copy_dx)
+        gpu.copy_dy = int(s.copy_dy)
+        gpu.depth_code = int(s.depth_code)
+        gpu.scissor_min = (int(s.scissor_min_x), int(s.scissor_min_y))
+        gpu.scissor_max = (int(s.scissor_max_x), int(s.scissor_max_y))
+        gpu.write_mask = int(s.write_mask)
+        gpu.logical_op = int(s.logical_op)
+        gpu.window_origin = (int(s.window_origin_x),
+                             int(s.window_origin_y))
+        gpu.fb_address = int(s.fb_address)
+        gpu.pixels_filled = int(s.pixels_filled)
+        gpu.pixels_copied = int(s.pixels_copied)
+        gpu.bytes_touched = int(s.bytes_touched)
+        gpu.primitives = int(s.primitives)
+        gpu.fifo_overflows = int(s.fifo_overflows)
+
+
+class SyncedFallback:
+    """Raw-callback proxy for a C-modelled mapping: syncs the mirror
+    back to Python, runs the real device method, and re-syncs to C —
+    in a ``finally``, so the mirror stays fresh even when the Python
+    path raises mid-batch."""
+
+    __slots__ = ("binding", "device")
+
+    def __init__(self, binding, device):
+        self.binding = binding
+        self.device = device
+
+    def io_read(self, offset: int, width: int) -> int:
+        self.binding.sync_to_py()
+        try:
+            return self.device.io_read(offset, width)
+        finally:
+            self.binding.sync_to_c()
+
+    def io_write(self, offset: int, value: int, width: int) -> None:
+        self.binding.sync_to_py()
+        try:
+            return self.device.io_write(offset, value, width)
+        finally:
+            self.binding.sync_to_c()
+
+
+def _ide_eligible(disk: IdeDiskModel) -> bool:
+    return isinstance(disk.store, bytearray)
+
+
+def _pm2_eligible(gpu: Permedia2Model) -> bool:
+    fb = getattr(gpu, "framebuffer", None)
+    return (fb is not None
+            and getattr(fb, "dtype", None) is not None
+            and str(fb.dtype) == "uint32"
+            and fb.flags["C_CONTIGUOUS"]
+            and fb.ndim == 2
+            and fb.shape == (gpu.height, gpu.width)
+            and gpu.width > 0 and gpu.height > 0)
+
+
+class ModelRegistry:
+    """Per-native-core registry: one shared binding per underlying
+    Python model, so the IDE disk and its control port (or the
+    Permedia2 registers and aperture) mirror one C state block."""
+
+    def __init__(self):
+        self._bindings: dict[int, object] = {}
+        self._anchors: list = []   # pin models so ids stay unique
+
+    def _memo(self, model, factory):
+        binding = self._bindings.get(id(model))
+        if binding is None:
+            binding = factory(model)
+            self._bindings[id(model)] = binding
+            self._anchors.append(model)
+        return binding
+
+    def binding_for(self, device):
+        """``(kind, binding)`` when ``device`` has a C port, else
+        ``None`` (the mapping stays in python-callback mode)."""
+        if isinstance(device, IdeDiskModel) and _ide_eligible(device):
+            return (MODEL_IDE, self._memo(device, IdeBinding))
+        if isinstance(device, IdeControlPort) \
+                and _ide_eligible(device.disk):
+            return (MODEL_IDE_CTRL, self._memo(device.disk, IdeBinding))
+        if isinstance(device, Permedia2Model) and _pm2_eligible(device):
+            return (MODEL_PM2, self._memo(device, Pm2Binding))
+        if isinstance(device, Permedia2Aperture) \
+                and _pm2_eligible(device.gpu):
+            return (MODEL_PM2_FB, self._memo(device.gpu, Pm2Binding))
+        return None
+
+
+__all__ = [
+    "MODEL_NONE", "MODEL_IDE", "MODEL_IDE_CTRL", "MODEL_PM2",
+    "MODEL_PM2_FB", "model_c_source", "check_model_abi",
+    "IdeBinding", "Pm2Binding", "SyncedFallback", "ModelRegistry",
+]

@@ -35,19 +35,23 @@ from .fleet import (
     LatencyBus,
     fleet_layout,
     map_fleet_device,
+    resolve_strategy,
     session_weight,
 )
 from .mp import DEFAULT_AUTO_BATCH, ProcessFleet, ProcessSession
 from .pool import WorkerError, WorkerPool
 from .requests import (
+    CHURN_OPS,
     CPU_REQUESTS,
     MIXED_REQUESTS,
     decode_request,
     encode_request,
+    ide_data_probe,
     ide_sector_checksum,
     ide_sector_read,
     ide_sector_read_lba,
     ide_sector_read_txn,
+    ide_taskfile_churn,
     ne2000_ring_poll,
     pm2_fill_rect,
     request_label,
@@ -93,17 +97,21 @@ __all__ = [
     "ProcessSession",
     "fleet_layout",
     "map_fleet_device",
+    "resolve_strategy",
     "session_weight",
     "WorkerError",
     "WorkerPool",
+    "CHURN_OPS",
     "CPU_REQUESTS",
     "MIXED_REQUESTS",
     "decode_request",
     "encode_request",
+    "ide_data_probe",
     "ide_sector_checksum",
     "ide_sector_read",
     "ide_sector_read_lba",
     "ide_sector_read_txn",
+    "ide_taskfile_churn",
     "ne2000_ring_poll",
     "pm2_fill_rect",
     "request_label",

@@ -150,6 +150,47 @@ def ide_sector_checksum(stubs, aux):
     return accumulator
 
 
+#: Dispatch depth of :func:`ide_taskfile_churn`: enough single-register
+#: writes that per-op crossing cost (Python bytecode + ctypes + GIL
+#: traffic) dominates the request, which is exactly what the native
+#: core's batched ``repeat()`` dispatch is built to collapse.
+CHURN_OPS = 8192
+
+
+def ide_taskfile_churn(stubs, aux, n=CHURN_OPS):
+    """Hammer one 8-bit taskfile register ``n`` times (CPU-bound dispatch).
+
+    The request is pure dispatch overhead by design: no data transfer,
+    no latency model stalls, just ``n`` writes of the same value to
+    ``lba_low``.  On interpret/specialize stubs each write is a full
+    Python round trip holding the GIL; on native stubs the whole run
+    collapses into one C call via ``repeat()`` that *releases* the GIL,
+    so N thread-fleet workers overlap in real parallel.  Both paths
+    produce identical bus traffic (``n`` 8-bit writes of 2), so every
+    parity pin — accounting, traces, end state — stays byte-exact
+    across strategies.
+    """
+    repeat = getattr(stubs, "repeat", None)
+    if repeat is not None:
+        repeat("set_lba_low", n, 2)
+    else:
+        for _ in range(n):
+            stubs.set_lba_low(2)
+    return n
+
+
+def ide_data_probe(stubs, aux):
+    """Read the IDE data FIFO without arming a transfer (always faults).
+
+    DRQ is clear, so the device model rejects the read; the request
+    exists to prove mid-batch error propagation: a process worker
+    executing a batch must surface the failure as a
+    :class:`~repro.engine.mp.WorkerError` carrying the device's message
+    and keep serving later batches.
+    """
+    return stubs.read_ide_data_block(8)
+
+
 def wedged_request(stubs, aux, seconds=2.0):
     """Deliberately wedge the executing worker for ``seconds``.
 
