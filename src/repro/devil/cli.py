@@ -18,6 +18,11 @@ Usage::
     devilc top    [--devices ide:4 ...]  live per-worker dashboard of
                                          a running fleet (health,
                                          throughput, latency)
+    devilc campaign [--specs ... --backend process]
+                                         fleet-scheduled mutation
+                                         campaign over the shipped
+                                         specs, with cached verdicts
+                                         and the Table 1 projection
 
 (``devil`` is installed as an alias of ``devilc``; ``devil trace
 busmouse --format=chrome`` is the quick-start of docs/LANGUAGE.md.)
@@ -240,6 +245,70 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--once", action="store_true",
                      help="drive one feeder round, render a single "
                           "frame and exit (CI smoke mode)")
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run a fleet-scheduled mutation campaign (Table 1 at "
+             "scale) with cached verdicts")
+    campaign.add_argument("--specs", nargs="+", default=None,
+                          metavar="NAME",
+                          help="spec subset (default: all 8 shipped "
+                               "specs)")
+    campaign.add_argument("--styles", nargs="+", default=None,
+                          choices=("c", "devil", "cdevil"),
+                          help="driver styles to mutate (default: all "
+                               "three; c/cdevil exist only for the "
+                               "paper's three corpus devices)")
+    campaign.add_argument("--budget", type=int, default=8,
+                          help="uniform per-kind mutant budget per "
+                               "site (default: 8)")
+    campaign.add_argument("--full", action="store_true",
+                          help="use the full Table 1 budget instead "
+                               "(enumerate numbers/operators/bit "
+                               "patterns exhaustively, cap "
+                               "identifiers)")
+    campaign.add_argument("--max-sites", type=int, default=None,
+                          metavar="N",
+                          help="only the first N sites per target "
+                               "(deterministic; disables the exact "
+                               "Table 1 projection)")
+    campaign.add_argument("--backend", default="serial",
+                          choices=("serial", "thread", "process"),
+                          help="execution substrate (default: serial; "
+                               "'process' is what scales this "
+                               "CPU-bound workload)")
+    campaign.add_argument("--workers", type=int, default=4,
+                          help="fleet workers (default: 4)")
+    campaign.add_argument("--batch-size", default=None,
+                          metavar="N|auto",
+                          help="process backend: IPC batching "
+                               "(default: auto)")
+    campaign.add_argument("--cache-dir", metavar="PATH",
+                          help="verdict cache directory (default: "
+                               "$DEVIL_CAMPAIGN_CACHE or "
+                               "~/.cache/devil-campaign); re-running "
+                               "against a warm cache resumes")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="cold run: use a private cache "
+                               "discarded on exit")
+    campaign.add_argument("--report", default="table",
+                          choices=("table", "json", "rows"),
+                          help="report rendering: human table "
+                               "(default), the full JSON report, or "
+                               "just the Table 1 projection rows")
+    campaign.add_argument("-o", "--output",
+                          help="write the report here (default: "
+                               "stdout)")
+    campaign.add_argument("--telemetry", action="store_true",
+                          help="attach the live telemetry plane to "
+                               "fleet backends and print a health "
+                               "summary")
+    campaign.add_argument("--health-log", metavar="PATH",
+                          help="write periodic heartbeat/health JSONL "
+                               "records to PATH while the campaign "
+                               "runs (implies --telemetry)")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress progress narration on stderr")
     return parser
 
 
@@ -257,6 +326,8 @@ def _run(arguments) -> int:
         return _run_fleet(arguments)
     if arguments.command == "top":
         return _run_top(arguments)
+    if arguments.command == "campaign":
+        return _run_campaign(arguments)
     try:
         spec = compile_file(arguments.spec)
     except DevilError as error:
@@ -501,6 +572,92 @@ def _run_fleet(arguments) -> int:
                 print(f"  bus trace entries dropped: {dropped}")
             if arguments.health_log:
                 print(f"  health log: {arguments.health_log}")
+    return 0
+
+
+def _run_campaign(arguments) -> int:
+    """Run a mutation campaign; report to stdout, narration to stderr."""
+    import json
+
+    from ..mutation import CampaignConfig, MutantCaps, VerdictCache, \
+        run_campaign
+    from ..mutation.registry import STYLES
+    from ..mutation.vcache import default_cache_dir
+    from ..specs import SPEC_NAMES
+
+    batch_size = arguments.batch_size
+    if batch_size is None:
+        batch_size = "auto"
+    elif batch_size != "auto":
+        try:
+            batch_size = int(batch_size)
+        except ValueError:
+            print(f"bad --batch-size {batch_size!r} "
+                  f"(want an integer or 'auto')", file=sys.stderr)
+            return 1
+    caps = MutantCaps() if arguments.full \
+        else MutantCaps.quick(arguments.budget)
+    try:
+        config = CampaignConfig(
+            specs=tuple(arguments.specs or SPEC_NAMES),
+            styles=tuple(arguments.styles or STYLES),
+            caps=caps, max_sites=arguments.max_sites,
+            backend=arguments.backend, workers=arguments.workers,
+            batch_size=batch_size)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+    cache = None
+    if not arguments.no_cache:
+        root = arguments.cache_dir or default_cache_dir()
+        cache = VerdictCache(root)
+        if not arguments.quiet:
+            print(f"verdict cache: {cache.root}", file=sys.stderr)
+    progress = None if arguments.quiet else \
+        (lambda message: print(message, file=sys.stderr))
+    telemetry = (arguments.telemetry or bool(arguments.health_log)) \
+        or None
+    try:
+        result = run_campaign(config, cache=cache, telemetry=telemetry,
+                              health_log=arguments.health_log,
+                              progress=progress)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+    if arguments.report == "json":
+        text = result.report.to_json()
+    elif arguments.report == "rows":
+        text = json.dumps(result.report.table1_rows(), indent=2,
+                          sort_keys=True) + "\n"
+    else:
+        text = result.report.format() + "\n"
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+    stats = result.stats()
+    if not arguments.quiet:
+        print(f"campaign: {stats['units']} units, "
+              f"{stats['cache_hits']} cache hits, "
+              f"{stats['evaluated']} evaluated"
+              + (f", {stats['corrupt_recovered']} corrupt recovered"
+                 if stats["corrupt_recovered"] else "")
+              + (f", {stats['salvaged']} salvaged"
+                 if stats["salvaged"] else "")
+              + f" in {stats['elapsed_s']:.2f}s "
+              f"({stats['backend']}, {stats['workers']} workers)",
+              file=sys.stderr)
+        if result.placement:
+            placed = ", ".join(f"{label}={count}" for label, count
+                               in sorted(result.placement.items()))
+            print(f"placement: {placed}", file=sys.stderr)
+        if arguments.health_log:
+            print(f"health log: {arguments.health_log}",
+                  file=sys.stderr)
     return 0
 
 

@@ -28,6 +28,7 @@ See ``docs/CONCURRENCY.md`` for the locking/sharding model and
 the throughput numbers.
 """
 
+from .compute import COMPUTE_SPEC, compute_fleet
 from .fleet import (
     SLOT_STRIDE,
     DeviceSession,
@@ -89,6 +90,8 @@ from .stress import (
 )
 
 __all__ = [
+    "COMPUTE_SPEC",
+    "compute_fleet",
     "SLOT_STRIDE",
     "DeviceSession",
     "Fleet",

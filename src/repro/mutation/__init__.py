@@ -5,6 +5,11 @@ into the hardware operating code of three drivers written in C, into
 the corresponding Devil specifications, and into the stub-using CDevil
 code; the fraction the compiler/checker rejects measures each
 language's error-detection coverage.
+
+Two entry points share one engine: :func:`run_table1` is the paper's
+serial three-device study, and :func:`run_campaign` scales the same
+verdicts into a fleet-scheduled, verdict-cached campaign over all 8
+shipped specs (see ``docs/MUTATION.md``).
 """
 
 from .analysis import (
@@ -15,8 +20,30 @@ from .analysis import (
     analyze_target,
     format_table,
 )
+from .campaign import (
+    BACKENDS,
+    CAMPAIGN_VERSION,
+    CampaignConfig,
+    CampaignResult,
+    CampaignUnit,
+    evaluate_unit,
+    generate_units,
+    run_campaign,
+    unit_key,
+)
 from .experiment import run_table1
+from .registry import (
+    DRIVER_CORPUS,
+    STYLES,
+    available_styles,
+    get_target,
+    parse_target_id,
+    target_fingerprint,
+    target_ids,
+)
+from .report import CampaignReport
 from .rules import Mutant, MutationSite, mutants_for_site
+from .vcache import VerdictCache, default_cache_dir
 from .targets import (
     LanguageTarget,
     c_target,
@@ -26,8 +53,27 @@ from .targets import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CAMPAIGN_VERSION",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignUnit",
+    "DRIVER_CORPUS",
     "DeviceRows",
     "MutantCaps",
+    "STYLES",
+    "VerdictCache",
+    "available_styles",
+    "default_cache_dir",
+    "evaluate_unit",
+    "generate_units",
+    "get_target",
+    "parse_target_id",
+    "run_campaign",
+    "target_fingerprint",
+    "target_ids",
+    "unit_key",
     "LanguageTarget",
     "Mutant",
     "MutationSite",

@@ -3,57 +3,45 @@
 :func:`run_table1` reproduces the paper's robustness study on the same
 three devices (Logitech busmouse, IDE/PIIX4, NE2000) across the same
 four rows per device (C, Devil, CDevil, Devil+CDevil).
+
+Targets come from the shared :mod:`.registry`, so the spec parses,
+classifier environments and site extraction are built once per process
+no matter how many times (or through how many entry points — this
+function, a :mod:`.campaign`, the CLI) the experiment runs.
 """
 
 from __future__ import annotations
 
-from ..specs import compile_shipped, load_source
-from . import corpus
 from .analysis import DeviceRows, MutantCaps, analyze_target
-from .targets import c_target, cdevil_target, devil_target
+from .registry import get_target
 
 
 def _busmouse_rows(caps: MutantCaps | None) -> DeviceRows:
-    spec = compile_shipped("busmouse")
-    c_outcome = analyze_target(
-        c_target("busmouse", corpus.BUSMOUSE_C), caps)
-    devil_outcome = analyze_target(
-        devil_target("busmouse", load_source("busmouse")), caps)
-    cdevil_outcome = analyze_target(
-        cdevil_target("busmouse", corpus.BUSMOUSE_CDEVIL,
-                      [(spec.model, "bm")]), caps)
-    return DeviceRows("Busmouse", c_outcome, devil_outcome, cdevil_outcome)
+    return DeviceRows(
+        "Busmouse",
+        analyze_target(get_target("busmouse/c"), caps),
+        analyze_target(get_target("busmouse/devil"), caps),
+        analyze_target(get_target("busmouse/cdevil"), caps))
 
 
 def _ide_rows(caps: MutantCaps | None) -> DeviceRows:
-    ide_spec = compile_shipped("ide")
-    piix4_spec = compile_shipped("piix4")
-    c_outcome = analyze_target(c_target("ide", corpus.IDE_C), caps)
+    c_outcome = analyze_target(get_target("ide/c"), caps)
     # The paper wrote two specifications for the re-engineered IDE
     # driver (IDE proper and the PIIX4 busmaster); both are mutated.
-    devil_outcome = analyze_target(
-        devil_target("ide", load_source("ide")), caps)
-    piix4_outcome = analyze_target(
-        devil_target("piix4", load_source("piix4")), caps)
+    devil_outcome = analyze_target(get_target("ide/devil"), caps)
+    piix4_outcome = analyze_target(get_target("piix4/devil"), caps)
     devil_merged = devil_outcome.merged_with(piix4_outcome, "ide")
     devil_merged.language = "Devil"
-    cdevil_outcome = analyze_target(
-        cdevil_target("ide", corpus.IDE_CDEVIL,
-                      [(ide_spec.model, "ide"),
-                       (piix4_spec.model, "pii")]), caps)
+    cdevil_outcome = analyze_target(get_target("ide/cdevil"), caps)
     return DeviceRows("IDE", c_outcome, devil_merged, cdevil_outcome)
 
 
 def _ne2000_rows(caps: MutantCaps | None) -> DeviceRows:
-    spec = compile_shipped("ne2000")
-    c_outcome = analyze_target(
-        c_target("ne2000", corpus.NE2000_C), caps)
-    devil_outcome = analyze_target(
-        devil_target("ne2000", load_source("ne2000")), caps)
-    cdevil_outcome = analyze_target(
-        cdevil_target("ne2000", corpus.NE2000_CDEVIL,
-                      [(spec.model, "ne")]), caps)
-    return DeviceRows("Ethernet", c_outcome, devil_outcome, cdevil_outcome)
+    return DeviceRows(
+        "Ethernet",
+        analyze_target(get_target("ne2000/c"), caps),
+        analyze_target(get_target("ne2000/devil"), caps),
+        analyze_target(get_target("ne2000/cdevil"), caps))
 
 
 def run_table1(caps: MutantCaps | None = None,

@@ -1,0 +1,229 @@
+"""Campaign aggregation: breakdowns and the Table 1 projection.
+
+A :class:`CampaignReport` folds the campaign's per-site verdict
+records into:
+
+* **per-target outcomes** — exact reconstructions of what
+  :func:`~.analysis.analyze_target` would return for each (device,
+  style) pair, rebuilt from the cached records;
+* **breakdowns** — detection statistics grouped by device spec, by
+  language, and by mutation rule class (identifier / number / operator
+  / bit pattern), the campaign-scale view the one-shot script never
+  had;
+* **the Table 1 projection** — for the paper's three devices, the
+  exact :class:`~.analysis.DeviceRows` the serial
+  :func:`~.experiment.run_table1` produces, row for row and byte for
+  byte (available whenever the campaign scope covers the device's
+  full target complement with no site budget).
+
+Everything here is a pure function of the verdict records, so two
+campaigns over the same scope — whatever their backend, worker count
+or cache state — render identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .analysis import DeviceRows, SiteOutcome, TargetOutcome, \
+    format_table
+from .registry import get_target, parse_target_id
+from .rules import MutationSite
+
+#: The Table 1 projection: paper device label -> required targets.
+#: ``devil`` lists the spec targets merged into the Devil row (the
+#: paper's IDE row merges the IDE and PIIX4 specifications).
+TABLE1_DEVICES = (
+    ("Busmouse", {"c": "busmouse/c", "devil": ("busmouse/devil",),
+                  "cdevil": "busmouse/cdevil", "merge_name": "busmouse"}),
+    ("IDE", {"c": "ide/c", "devil": ("ide/devil", "piix4/devil"),
+             "cdevil": "ide/cdevil", "merge_name": "ide"}),
+    ("Ethernet", {"c": "ne2000/c", "devil": ("ne2000/devil",),
+                  "cdevil": "ne2000/cdevil", "merge_name": "ne2000"}),
+)
+
+
+def _outcome_from_records(target_id: str, records) -> TargetOutcome:
+    """Rebuild the exact ``analyze_target`` outcome from verdicts.
+
+    Records arrive in site order; sites whose mutant population came
+    up empty are dropped, exactly like the serial engine.
+    """
+    target = get_target(target_id)
+    outcome = TargetOutcome(target.name, target.language,
+                            target.lines_of_code)
+    for record in records:
+        if not record["mutants"]:
+            continue
+        site = record["site"]
+        outcome.site_outcomes.append(SiteOutcome(
+            site=MutationSite(site["kind"], site["text"],
+                              site["offset"], site["line"]),
+            mutants=record["mutants"],
+            detected=record["detected"],
+            undetected=record["undetected"],
+            survivors=list(record["survivors"])))
+    return outcome
+
+
+def _fold(bucket: dict, record: dict) -> None:
+    bucket["sites"] += 1 if record["mutants"] else 0
+    bucket["mutants"] += record["mutants"]
+    bucket["detected"] += record["detected"]
+    bucket["undetected"] += record["undetected"]
+
+
+def _new_bucket() -> dict:
+    return {"sites": 0, "mutants": 0, "detected": 0, "undetected": 0}
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated verdicts of one campaign scope."""
+
+    #: Echo of the scope that produced the report (plain JSON shape).
+    scope: dict
+    #: ``target_id -> verdict records`` in site order.
+    records: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_records(cls, config, records) -> "CampaignReport":
+        grouped: dict[str, list] = {}
+        for record in records:
+            grouped.setdefault(record["target_id"], []).append(record)
+        return cls(scope=config.describe(), records=grouped)
+
+    # -- per-target outcomes --------------------------------------------
+
+    def outcomes(self) -> dict[str, TargetOutcome]:
+        return {target_id: _outcome_from_records(target_id, records)
+                for target_id, records in self.records.items()}
+
+    # -- breakdowns -----------------------------------------------------
+
+    def by_device(self) -> dict:
+        """Detection stats per device spec (styles folded together)."""
+        result: dict[str, dict] = {}
+        for target_id, records in self.records.items():
+            spec, _ = parse_target_id(target_id)
+            bucket = result.setdefault(spec, _new_bucket())
+            for record in records:
+                _fold(bucket, record)
+        return result
+
+    def by_language(self) -> dict:
+        """Detection stats per language (C / Devil / CDevil)."""
+        result: dict[str, dict] = {}
+        for target_id, records in self.records.items():
+            language = get_target(target_id).language
+            bucket = result.setdefault(language, _new_bucket())
+            for record in records:
+                _fold(bucket, record)
+        return result
+
+    def by_rule(self) -> dict:
+        """Detection stats per mutation rule class (site token kind)."""
+        result: dict[str, dict] = {}
+        for records in self.records.values():
+            for record in records:
+                bucket = result.setdefault(record["site"]["kind"],
+                                           _new_bucket())
+                _fold(bucket, record)
+        return result
+
+    # -- the Table 1 projection -----------------------------------------
+
+    def table1_device_rows(self) -> list[DeviceRows]:
+        """The paper's rows, for every device the scope fully covers.
+
+        Exact only without a site budget (``max_sites`` truncates
+        populations); partially covered devices are skipped rather
+        than rendered misleadingly.
+        """
+        if self.scope.get("max_sites") is not None:
+            return []
+        rows: list[DeviceRows] = []
+        for device, spec_map in TABLE1_DEVICES:
+            needed = [spec_map["c"], *spec_map["devil"],
+                      spec_map["cdevil"]]
+            if any(target_id not in self.records
+                   for target_id in needed):
+                continue
+            outcomes = {target_id:
+                        _outcome_from_records(
+                            target_id, self.records[target_id])
+                        for target_id in needed}
+            devil_parts = [outcomes[t] for t in spec_map["devil"]]
+            devil = devil_parts[0]
+            for part in devil_parts[1:]:
+                devil = devil.merged_with(part, spec_map["merge_name"])
+                devil.language = "Devil"
+            rows.append(DeviceRows(device, outcomes[spec_map["c"]],
+                                   devil, outcomes[spec_map["cdevil"]]))
+        return rows
+
+    def table1_rows(self) -> list[dict]:
+        """The projection in the paper's column order (flat dicts)."""
+        return [row for device_rows in self.table1_device_rows()
+                for row in device_rows.rows()]
+
+    # -- rendering ------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """The full report as a JSON-ready tree (deterministic)."""
+        targets = {}
+        for target_id, outcome in sorted(self.outcomes().items()):
+            targets[target_id] = {
+                "language": outcome.language,
+                "lines": outcome.lines_of_code,
+                "sites": outcome.sites,
+                "mutants": outcome.total_mutants,
+                "detected": outcome.total_mutants -
+                    outcome.total_undetected,
+                "undetected": outcome.total_undetected,
+                "undetected_per_site":
+                    round(outcome.undetected_per_site, 4),
+                "sites_with_undetected":
+                    round(outcome.sites_with_undetected, 4),
+            }
+        return {
+            "scope": self.scope,
+            "targets": targets,
+            "by_device": self.by_device(),
+            "by_language": self.by_language(),
+            "by_rule": self.by_rule(),
+            "table1": self.table1_rows(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: byte-comparable across backends."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) \
+            + "\n"
+
+    def format(self) -> str:
+        """Human-readable campaign summary."""
+        lines = []
+        header = (f"{'Target':<20} {'Lang':<7} {'Sites':>6} "
+                  f"{'Mutants':>8} {'Undet':>6} {'Undet/site':>11}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for target_id, outcome in sorted(self.outcomes().items()):
+            lines.append(
+                f"{target_id:<20} {outcome.language:<7} "
+                f"{outcome.sites:>6} {outcome.total_mutants:>8} "
+                f"{outcome.total_undetected:>6} "
+                f"{outcome.undetected_per_site:>11.2f}")
+        lines.append("")
+        lines.append(f"{'Rule class':<12} {'Sites':>6} {'Mutants':>8} "
+                     f"{'Undet':>6}")
+        for kind, bucket in sorted(self.by_rule().items()):
+            lines.append(f"{kind:<12} {bucket['sites']:>6} "
+                         f"{bucket['mutants']:>8} "
+                         f"{bucket['undetected']:>6}")
+        device_rows = self.table1_device_rows()
+        if device_rows:
+            lines.append("")
+            lines.append("Table 1 projection (paper devices):")
+            lines.append(format_table(device_rows))
+        return "\n".join(lines)
